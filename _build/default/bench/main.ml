@@ -1,0 +1,141 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Tables I-III and the section 4.3 experiment are virtual-time
+   measurements from the simulator (the numbers to compare against the
+   paper); the final section uses Bechamel for wall-clock
+   microbenchmarks of the infrastructure itself (one procedure call per
+   layer crossing, message push/pop, header codecs). *)
+
+open Xkernel
+module E = Rpc.Experiments
+
+let pr = Printf.printf
+let section title = pr "\n=== %s ===\n%!" title
+
+(* --- wall-clock microbenchmarks ------------------------------------------ *)
+
+let microbench () =
+  section "Wall-clock microbenchmarks (Bechamel; real ns, not simulated)";
+  let open Bechamel in
+  let open Toolkit in
+  (* A chain of [n] trivial protocols on a zero-cost machine: the real
+     price of one layer crossing in this infrastructure. *)
+  let make_chain n =
+    let sim = Sim.create () in
+    let host =
+      Host.create sim ~name:"bench" ~ip:(Addr.Ip.v 10 9 9 9)
+        ~eth:(Addr.Eth.v 42) ~profile:Machine.zero_cost ()
+    in
+    let hits = ref 0 in
+    let bottom_proto = Proto.create ~host ~name:"bottom" () in
+    let bottom =
+      Proto.make_session bottom_proto
+        {
+          Proto.push = (fun _ -> incr hits);
+          pop = (fun _ -> ());
+          s_control = (fun _ -> Control.Unsupported);
+          close = (fun () -> ());
+        }
+    in
+    let rec wrap k sess =
+      if k = 0 then sess
+      else begin
+        let p = Proto.create ~host ~name:(Printf.sprintf "layer%d" k) () in
+        let s =
+          Proto.make_session p
+            {
+              Proto.push = (fun msg -> Proto.push sess msg);
+              pop = (fun _ -> ());
+              s_control = (fun _ -> Control.Unsupported);
+              close = (fun () -> ());
+            }
+        in
+        wrap (k - 1) s
+      end
+    in
+    wrap n bottom
+  in
+  let crossing n =
+    let top = make_chain n in
+    let msg = Msg.of_string "x" in
+    Test.make ~name:(Printf.sprintf "push through %2d layers" n)
+      (Staged.stage (fun () -> Proto.push top msg))
+  in
+  let msg_ops =
+    let m = Msg.fill 1024 'a' in
+    [
+      Test.make ~name:"msg push+pop 36B header"
+        (Staged.stage (fun () ->
+             match Msg.pop (Msg.push m (String.make 36 'h')) 36 with
+             | Some _ -> ()
+             | None -> assert false));
+      Test.make ~name:"msg split+append 1KB"
+        (Staged.stage (fun () -> ignore (Msg.append (fst (Msg.split m 512)) m)));
+      Test.make ~name:"SPRITE_HDR encode+decode"
+        (Staged.stage
+           (let h =
+              {
+                Rpc.Wire_fmt.Sprite.flags = 1;
+                clnt_host = Addr.Ip.v 10 0 0 1;
+                srvr_host = Addr.Ip.v 10 0 0 2;
+                channel = 1;
+                srvr_process = 0;
+                sequence_num = 7;
+                num_frags = 1;
+                frag_mask = 1;
+                command = 3;
+                boot_id = 1;
+                data1_sz = 0;
+                data2_sz = 0;
+                data1_off = 0;
+                data2_off = 0;
+              }
+            in
+            fun () ->
+              ignore
+                (Rpc.Wire_fmt.Sprite.decode (Rpc.Wire_fmt.Sprite.encode h))));
+      Test.make ~name:"IP checksum over 20B"
+        (Staged.stage
+           (let hdr = String.make 20 '\x42' in
+            fun () -> ignore (Codec.ip_checksum hdr)));
+    ]
+  in
+  let tests =
+    Test.make_grouped ~name:"xkernel"
+      ([ crossing 1; crossing 5; crossing 10 ] @ msg_ops)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> pr "%-40s %10.1f ns\n" name ns) rows;
+  pr
+    "\n(A layer crossing adds only a handful of ns of real work - the\n\
+    \ x-kernel claim that a layer costs one procedure call.)\n"
+
+let () =
+  pr "RPC in the x-Kernel: reproduction benchmarks\n";
+  pr "(virtual-time msec from the calibrated simulator; see DESIGN.md)\n";
+  E.intro ();
+  E.table1 ();
+  E.table2 ();
+  E.table3 ();
+  E.removal ();
+  E.figures
+    ~fig2_extra:(fun ~host ~lower -> Psync.proto (Psync.create ~host ~lower ()))
+    ();
+  E.ablation ();
+  E.cpu_note ();
+  microbench ()

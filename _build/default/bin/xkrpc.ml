@@ -1,0 +1,209 @@
+(* xkrpc — command-line driver for the reproduction.
+
+   Subcommands:
+     exp    run one experiment (or all) by id: intro, t1, t2, t3,
+            removal, figures, ablation, cpu, all
+     graph  print the protocol graph of a named configuration
+     rpc    run an ad-hoc RPC workload (configurable size/count/loss)
+     trace  run one RPC with packet tracing enabled *)
+
+open Xkernel
+module World = Netproto.World
+module E = Rpc.Experiments
+
+let experiments =
+  [
+    ("intro", E.intro);
+    ("t1", E.table1);
+    ("t2", E.table2);
+    ("t3", E.table3);
+    ("removal", E.removal);
+    ( "figures",
+      fun () ->
+        E.figures
+          ~fig2_extra:(fun ~host ~lower ->
+            Psync.proto (Psync.create ~host ~lower ()))
+          () );
+    ("ablation", E.ablation);
+    ("cpu", E.cpu_note);
+  ]
+
+let run_exp ids =
+  let ids = if ids = [] || List.mem "all" ids then List.map fst experiments else ids in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (try: %s, all)\n" id
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    ids
+
+let stack_builders =
+  [
+    ("mrpc-eth", fun w -> Rpc.Stacks.mrpc w ~lower:Rpc.Stacks.L_eth);
+    ("mrpc-ip", fun w -> Rpc.Stacks.mrpc w ~lower:Rpc.Stacks.L_ip);
+    ("mrpc-vip", fun w -> Rpc.Stacks.mrpc w ~lower:Rpc.Stacks.L_vip);
+    ("lrpc", Rpc.Stacks.lrpc);
+    ("lrpc-vipsize", Rpc.Stacks.lrpc_vip_size);
+  ]
+
+let stack_names = String.concat ", " (List.map fst stack_builders)
+
+let with_stack name f =
+  match List.assoc_opt name stack_builders with
+  | Some mk -> f mk
+  | None ->
+      Printf.eprintf "unknown configuration %S (try: %s)\n" name stack_names;
+      exit 1
+
+let run_graph name =
+  with_stack name (fun mk ->
+      let w = World.create () in
+      let e = mk w in
+      Format.printf "%a" Proto.pp_graph e.Rpc.Stacks.tops)
+
+let run_rpc name size count drop seed =
+  with_stack name (fun mk ->
+      let w = World.create ~seed () in
+      let e = mk w in
+      let ok = ref 0 and failed = ref 0 in
+      World.spawn w (fun () ->
+          (* warm up before enabling loss so ARP isn't part of the story *)
+          ignore (e.Rpc.Stacks.call ~command:Rpc.Stacks.cmd_null Msg.empty);
+          Wire.set_drop_rate w.World.wire drop;
+          let payload = Msg.fill size 'x' in
+          let t0 = Sim.now w.World.sim in
+          for _ = 1 to count do
+            match e.Rpc.Stacks.call ~command:Rpc.Stacks.cmd_null payload with
+            | Ok _ -> incr ok
+            | Error _ -> incr failed
+          done;
+          let dt = Sim.now w.World.sim -. t0 in
+          Printf.printf
+            "%s: %d/%d calls ok (%d failed) in %.2f ms simulated\n" name !ok
+            count !failed (dt *. 1e3);
+          Printf.printf "per call: %.3f ms" (dt /. float_of_int count *. 1e3);
+          if size > 0 then
+            Printf.printf "  (%.0f kB/s)"
+              (float_of_int size /. (dt /. float_of_int count) /. 1000.);
+          print_newline ());
+      World.run w)
+
+let run_trace name size =
+  Trace.set_level (Some Logs.Debug);
+  with_stack name (fun mk ->
+      let w = World.create () in
+      let e = mk w in
+      World.spawn w (fun () ->
+          match e.Rpc.Stacks.call ~command:Rpc.Stacks.cmd_null (Msg.fill size 't') with
+          | Ok _ -> Printf.printf "call completed at %.3f ms\n" (Sim.now w.World.sim *. 1e3)
+          | Error err -> Printf.printf "call failed: %s\n" (Rpc.Rpc_error.to_string err));
+      World.run w)
+
+let run_ping remote =
+  if remote then begin
+    let inet = World.create_internet () in
+    let wn = World.node inet.World.west 0 in
+    let en = World.node inet.World.east 0 in
+    let iw = Netproto.Icmp.create ~host:wn.World.host ~ip:wn.World.ip in
+    let _ie = Netproto.Icmp.create ~host:en.World.host ~ip:en.World.ip in
+    Sim.spawn inet.World.inet_sim (fun () ->
+        for seq = 1 to 4 do
+          match Netproto.Icmp.ping iw ~peer:en.World.host.Host.ip ~timeout:5.0 () with
+          | Some rtt ->
+              Printf.printf "64 bytes from %s (via router): seq=%d time=%.2f ms\n"
+                (Addr.Ip.to_string en.World.host.Host.ip) seq (rtt *. 1e3)
+          | None -> Printf.printf "seq=%d timed out\n" seq
+        done);
+    Sim.run inet.World.inet_sim
+  end
+  else begin
+    let w = World.create () in
+    let n0 = World.node w 0 and n1 = World.node w 1 in
+    let i0 = Netproto.Icmp.create ~host:n0.World.host ~ip:n0.World.ip in
+    let _i1 = Netproto.Icmp.create ~host:n1.World.host ~ip:n1.World.ip in
+    World.spawn w (fun () ->
+        for seq = 1 to 4 do
+          match Netproto.Icmp.ping i0 ~peer:n1.World.host.Host.ip () with
+          | Some rtt ->
+              Printf.printf "64 bytes from %s: seq=%d time=%.2f ms\n"
+                (Addr.Ip.to_string n1.World.host.Host.ip) seq (rtt *. 1e3)
+          | None -> Printf.printf "seq=%d timed out\n" seq
+        done);
+    World.run w
+  end
+
+let run_check name =
+  with_stack name (fun mk ->
+      let w = World.create () in
+      let e = mk w in
+      let issues = Rpc.Meta.check e.Rpc.Stacks.tops in
+      Format.printf "%a" Rpc.Meta.pp_report issues;
+      if issues <> [] then exit 1)
+
+(* --- cmdliner plumbing ---------------------------------------------------- *)
+
+open Cmdliner
+
+let exp_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run experiments by id (default: all)")
+    Term.(const run_exp $ ids)
+
+let config_pos =
+  Arg.(value & pos 0 string "lrpc" & info [] ~docv:"CONFIG")
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print a configuration's protocol graph")
+    Term.(const run_graph $ config_pos)
+
+let rpc_cmd =
+  let size =
+    Arg.(value & opt int 0 & info [ "s"; "size" ] ~docv:"BYTES" ~doc:"Request size")
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of calls")
+  in
+  let drop =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "d"; "drop" ] ~docv:"P" ~doc:"Frame drop probability")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed")
+  in
+  Cmd.v
+    (Cmd.info "rpc" ~doc:"Run an ad-hoc RPC workload")
+    Term.(const run_rpc $ config_pos $ size $ count $ drop $ seed)
+
+let trace_cmd =
+  let size =
+    Arg.(value & opt int 0 & info [ "s"; "size" ] ~docv:"BYTES" ~doc:"Request size")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one RPC with packet tracing")
+    Term.(const run_trace $ config_pos $ size)
+
+let ping_cmd =
+  let remote =
+    Arg.(value & flag & info [ "r"; "remote" ] ~doc:"Ping across the router")
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"ICMP echo through the simulated network")
+    Term.(const run_ping $ remote)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify a configuration against the meta-protocol rules")
+    Term.(const run_check $ config_pos)
+
+let () =
+  let doc = "RPC in the x-Kernel — reproduction driver" in
+  let info = Cmd.info "xkrpc" ~doc ~version:"1.0" in
+  exit (Cmd.eval (Cmd.group info [ exp_cmd; graph_cmd; rpc_cmd; trace_cmd; ping_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/bulk_psync.ml: Addr Control Hashtbl List Msg Netproto Printf Proto Psync Rpc Sim String Wire Xkernel

@@ -1,0 +1,1 @@
+examples/file_server.ml: Char Codec Control Hashtbl Host Msg Netproto Printf Proto Rpc Sim String Xkernel

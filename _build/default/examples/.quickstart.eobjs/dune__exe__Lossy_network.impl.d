@@ -1,0 +1,1 @@
+examples/lossy_network.ml: Control List Msg Netproto Printf Proto Rpc String Wire Xkernel

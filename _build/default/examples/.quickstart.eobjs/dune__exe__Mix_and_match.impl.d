@@ -1,0 +1,1 @@
+examples/mix_and_match.ml: Msg Netproto Printf Rpc Wire Xkernel

@@ -1,0 +1,1 @@
+examples/mix_and_match.mli:

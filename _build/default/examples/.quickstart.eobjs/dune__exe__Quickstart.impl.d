@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Host Msg Netproto Printf Proto Rpc Sim String Xkernel

@@ -1,0 +1,1 @@
+examples/stream_transfer.ml: Buffer Char Control Host Msg Netproto Printf Proto Rpc Sim String Wire Xkernel

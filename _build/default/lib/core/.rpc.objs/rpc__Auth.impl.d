@@ -1,0 +1,1 @@
+lib/core/auth.ml: Addr Char Codec Control Hashtbl Host Machine Msg Option Part Proto Stats String Xkernel

@@ -1,0 +1,1 @@
+lib/core/channel.ml: Addr Control Event Hashtbl Host Machine Msg Option Part Printf Proto Rpc_error Sim Stats Wire_fmt Xkernel

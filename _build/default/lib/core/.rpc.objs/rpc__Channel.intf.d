@@ -1,0 +1,1 @@
+lib/core/channel.mli: Rpc_error Xkernel

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Channel Format Fragment Machine Measure Msg Netproto Printf Proto Select Stacks String Xkernel

@@ -1,0 +1,1 @@
+lib/core/fragment.ml: Addr Array Control Event Hashtbl Host List Machine Msg Option Part Printf Proto Sim Stats Wire_fmt Xkernel

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Host List Machine Msg Netproto Printf Rpc_error Sim Stacks Xkernel

@@ -1,0 +1,1 @@
+lib/core/meta.ml: Control Format List Printf Proto Xkernel

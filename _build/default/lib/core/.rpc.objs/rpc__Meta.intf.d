@@ -1,0 +1,1 @@
+lib/core/meta.mli: Format Xkernel

@@ -1,0 +1,1 @@
+lib/core/rdgram.ml: Addr Channel Control Hashtbl Host Msg Part Proto Stats Xkernel

@@ -1,0 +1,1 @@
+lib/core/rdgram.mli: Channel Rpc_error Xkernel

@@ -1,0 +1,1 @@
+lib/core/request_reply.ml: Addr Codec Control Event Hashtbl Host Machine Msg Option Part Printf Proto Rpc_error Sim Stats Xkernel

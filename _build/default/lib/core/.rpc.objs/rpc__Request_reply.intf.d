@@ -1,0 +1,1 @@
+lib/core/request_reply.mli: Rpc_error Xkernel

@@ -1,0 +1,1 @@
+lib/core/select.ml: Channel Control Hashtbl Host Machine Msg Part Proto Queue Rpc_error Sim Stats Wire_fmt Xkernel

@@ -1,0 +1,1 @@
+lib/core/select.mli: Channel Rpc_error Xkernel

@@ -1,0 +1,1 @@
+lib/core/select_fwd.ml: Addr Channel Host Machine Msg Part Proto Rpc_error Select Stats Wire_fmt Xkernel

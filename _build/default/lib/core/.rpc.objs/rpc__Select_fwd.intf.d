@@ -1,0 +1,1 @@
+lib/core/select_fwd.mli: Channel Xkernel

@@ -1,0 +1,1 @@
+lib/core/sprite_mono.ml: Addr Array Control Event Hashtbl Host Machine Msg Option Part Proto Queue Rpc_error Select Seq Sim Stats Wire_fmt Xkernel

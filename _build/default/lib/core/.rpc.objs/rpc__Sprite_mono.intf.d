@@ -1,0 +1,1 @@
+lib/core/sprite_mono.mli: Rpc_error Select Xkernel

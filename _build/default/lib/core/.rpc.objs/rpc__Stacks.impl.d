@@ -1,0 +1,1 @@
+lib/core/stacks.ml: Addr Channel Control Fragment Host Machine Msg Netproto Part Proto Rpc_error Select Sprite_mono Xkernel

@@ -1,0 +1,1 @@
+lib/core/stacks.mli: Netproto Rpc_error Xkernel

@@ -1,0 +1,1 @@
+lib/core/stream.ml: Addr Codec Control Event Hashtbl Host List Machine Msg Part Proto Queue Sim Stats Xkernel

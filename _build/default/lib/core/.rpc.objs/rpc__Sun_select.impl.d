@@ -1,0 +1,1 @@
+lib/core/sun_select.ml: Addr Channel Codec Hashtbl Host Machine Msg Part Proto Request_reply Rpc_error Select Stats Xkernel

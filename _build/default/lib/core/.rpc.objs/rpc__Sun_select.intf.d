@@ -1,0 +1,1 @@
+lib/core/sun_select.mli: Channel Request_reply Rpc_error Select Xkernel

@@ -1,0 +1,1 @@
+lib/core/wire_fmt.ml: Addr Codec String Xkernel

@@ -1,0 +1,195 @@
+open Xkernel
+
+let flavor_none = 0
+let flavor_unix = 1
+let flavor_digest = 3
+
+(* flavour (1) + upper protocol number (4) + credential length (2) *)
+let fixed_bytes = 7
+
+type t = {
+  host : Host.t;
+  lower : Proto.t;
+  own_proto : int;
+  flavor : int;
+  cred_for : Msg.t -> string;
+  verify : cred:string -> Msg.t -> bool;
+  p : Proto.t;
+  sessions : (int * int, Proto.session) Hashtbl.t; (* (peer, upper proto) *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let rejects t = Stats.get t.stats "auth-reject"
+
+let encode t ~upper_proto cred =
+  let w = Codec.W.create ~size:(fixed_bytes + String.length cred) () in
+  Codec.W.u8 w t.flavor;
+  Codec.W.u32 w upper_proto;
+  Codec.W.u16 w (String.length cred);
+  Codec.W.bytes w cred;
+  Codec.W.contents w
+
+let make_session t ~upper ~peer ~upper_proto =
+  let lower_sess =
+    Proto.open_ t.lower ~upper:t.p
+      (Part.v
+         ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto t.own_proto ]
+         ~remotes:[ [ Part.Ip peer; Part.Ip_proto t.own_proto ] ]
+         ())
+  in
+  let cell = ref None in
+  let push msg =
+    let cred = t.cred_for msg in
+    Stats.incr t.stats "tx";
+    Machine.charge t.host.Host.mach
+      [ Machine.Header (fixed_bytes + String.length cred) ];
+    Proto.push lower_sess (Msg.push msg (encode t ~upper_proto cred))
+  in
+  let pop msg = Proto.deliver upper ~lower:(Option.get !cell) msg in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer
+    | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int upper_proto
+    | req -> Proto.session_control lower_sess req
+  in
+  let close () = Hashtbl.remove t.sessions (Addr.Ip.to_int peer, upper_proto) in
+  let xs = Proto.make_session t.p { push; pop; s_control; close } in
+  cell := Some xs;
+  Hashtbl.replace t.sessions (Addr.Ip.to_int peer, upper_proto) xs;
+  xs
+
+let input t ~lower msg =
+  match Proto.session_control lower Control.Get_peer_host with
+  | Control.R_ip peer -> (
+      Machine.charge t.host.Host.mach [ Machine.Header fixed_bytes ];
+      match Msg.pop msg fixed_bytes with
+      | None -> Stats.incr t.stats "rx-runt"
+      | Some (raw, rest) -> (
+          let r = Codec.R.of_string raw in
+          let flavor = Codec.R.u8 r in
+          let upper_proto = Codec.R.u32 r in
+          let cred_len = Codec.R.u16 r in
+          match Msg.pop rest cred_len with
+          | None -> Stats.incr t.stats "rx-runt"
+          | Some (cred, body) ->
+              if flavor <> t.flavor then Stats.incr t.stats "flavor-mismatch"
+              else if not (t.verify ~cred body) then
+                Stats.incr t.stats "auth-reject"
+              else begin
+                Stats.incr t.stats "rx";
+                let xs =
+                  match
+                    Hashtbl.find_opt t.sessions
+                      (Addr.Ip.to_int peer, upper_proto)
+                  with
+                  | Some xs -> Some xs
+                  | None -> (
+                      match Hashtbl.find_opt t.enabled upper_proto with
+                      | Some upper ->
+                          Some (make_session t ~upper ~peer ~upper_proto)
+                      | None -> None)
+                in
+                match xs with
+                | Some xs -> Proto.pop xs body
+                | None -> Stats.incr t.stats "rx-unbound"
+              end))
+  | _ -> Stats.incr t.stats "rx-unidentified"
+
+let make ~host ~lower ~proto_num ~flavor ~name ~cred_for ~verify =
+  let p = Proto.create ~host ~name () in
+  let t =
+    {
+      host;
+      lower;
+      own_proto = proto_num;
+      flavor;
+      cred_for;
+      verify;
+      p;
+      sessions = Hashtbl.create 8;
+      enabled = Hashtbl.create 8;
+      stats = Stats.create ();
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ =
+        (fun ~upper part ->
+          let peer_part = Part.peer part in
+          let peer =
+            match Part.find_ip peer_part with
+            | Some ip -> ip
+            | None -> invalid_arg "Auth.open_: no peer IP"
+          in
+          let upper_proto =
+            match
+              (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+            with
+            | Some n, _ | None, Some n -> n
+            | None, None -> invalid_arg "Auth.open_: no proto number"
+          in
+          match
+            Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, upper_proto)
+          with
+          | Some xs -> xs
+          | None -> make_session t ~upper ~peer ~upper_proto);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | None -> invalid_arg "Auth.open_enable: no proto number"
+          | Some n ->
+              Hashtbl.replace t.enabled n upper;
+              Proto.open_enable t.lower ~upper:t.p
+                (Part.v ~local:[ Part.Ip_proto t.own_proto ] ()));
+      open_done = (fun ~upper:_ _ -> invalid_arg "Auth: open_done");
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          | Control.Get_max_msg_size | Control.Get_max_packet
+          | Control.Get_opt_packet ->
+              Proto.control t.lower req
+          | req -> Stats.control t.stats req);
+    };
+  Proto.declare_below p [ lower ];
+  t
+
+let none ~host ~lower ?(proto_num = 96) () =
+  make ~host ~lower ~proto_num ~flavor:flavor_none ~name:"AUTH_NONE"
+    ~cred_for:(fun _ -> "")
+    ~verify:(fun ~cred:_ _ -> true)
+
+let unix ~host ~lower ?(proto_num = 96) ~uid ~gid ~allow () =
+  let cred_for _msg =
+    let w = Codec.W.create ~size:8 () in
+    Codec.W.u32 w uid;
+    Codec.W.u32 w gid;
+    Codec.W.contents w
+  in
+  let verify ~cred _msg =
+    String.length cred = 8
+    &&
+    let r = Codec.R.of_string cred in
+    let uid = Codec.R.u32 r in
+    let gid = Codec.R.u32 r in
+    allow ~uid ~gid
+  in
+  make ~host ~lower ~proto_num ~flavor:flavor_unix ~name:"AUTH_UNIX" ~cred_for
+    ~verify
+
+(* Toy keyed checksum: a weighted byte sum of key and body.  Enough to
+   catch tampering in tests; not cryptography. *)
+let digest_of ~key msg =
+  let h = ref 5381 in
+  let feed c = h := (((!h lsl 5) + !h) + Char.code c) land 0x3fffffff in
+  String.iter feed key;
+  String.iter feed (Msg.to_string msg);
+  let w = Codec.W.create ~size:4 () in
+  Codec.W.u32 w !h;
+  Codec.W.contents w
+
+let digest ~host ~lower ?(proto_num = 96) ~key () =
+  make ~host ~lower ~proto_num ~flavor:flavor_digest ~name:"AUTH_DIGEST"
+    ~cred_for:(fun msg -> digest_of ~key msg)
+    ~verify:(fun ~cred msg -> String.equal cred (digest_of ~key msg))

@@ -1,0 +1,399 @@
+open Xkernel
+module C = Wire_fmt.Channel
+
+type outstanding = {
+  o_seq : int;
+  iv : (Msg.t, Rpc_error.t) result Sim.Ivar.ivar option;
+      (* [Some _]: a blocked {!call}; [None]: uniform push, reply goes up *)
+  payload : Msg.t;
+  mutable timer : Event.t option;
+  mutable tries_left : int;
+  mutable acked : bool; (* explicit ACK received: server is working *)
+}
+
+type sess = {
+  chan : int;
+  peer : Addr.Ip.t;
+  proto_num : int;
+  upper : Proto.t;
+  lower_sess : Proto.session;
+  mutable xs : Proto.session option;
+  (* client role *)
+  mutable next_seq : int;
+  mutable out : outstanding option;
+  mutable server_boot : int option;
+  (* server role *)
+  mutable last_seq : int;
+  mutable client_boot : int;
+  mutable cached_reply : Msg.t option; (* encoded, ready to retransmit *)
+  mutable busy : bool;
+}
+
+type t = {
+  host : Host.t;
+  lower : Proto.t;
+  own_proto : int;
+      (* CHANNEL's own protocol number toward the layer below; the
+         protocol-number field in its header names the layer above *)
+  chans : int;
+  base_timeout : float;
+  per_frag_timeout : float;
+  retries : int;
+  p : Proto.t;
+  sessions : (int * int * int, sess) Hashtbl.t; (* (peer, proto, chan) *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let n_channels t = t.chans
+
+let header t s ~flags ~seq ~error =
+  {
+    C.flags;
+    channel = s.chan;
+    protocol_num = s.proto_num;
+    sequence_num = seq;
+    error;
+    boot_id = t.host.Host.boot_id;
+  }
+
+let transmit t s hdr payload =
+  Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+  Proto.push s.lower_sess (Msg.push payload (C.encode hdr))
+
+(* Step-function timeout: short for single-fragment requests; long
+   enough for multi-fragment ones that the fragmentation layer below is
+   surely done transmitting. *)
+let request_timeout t s len =
+  let frag_size =
+    match Proto.session_control s.lower_sess Control.Get_frag_size with
+    | Control.R_int n when n > 0 -> n
+    | _ -> len + 1 (* lower layer does not fragment *)
+  in
+  let nfrags = max 1 ((len + frag_size - 1) / frag_size) in
+  if nfrags <= 1 then t.base_timeout
+  else t.base_timeout +. (float_of_int nfrags *. t.per_frag_timeout)
+
+let cancel_timer t o =
+  match o.timer with
+  | Some ev ->
+      ignore (Event.cancel t.host ev);
+      o.timer <- None
+  | None -> ()
+
+(* Finish the outstanding transaction: wake the blocked caller, or — on
+   the uniform path — deliver the reply up through the session. *)
+let complete t s outcome =
+  match s.out with
+  | None -> ()
+  | Some o -> (
+      (* Clear the slot before anything that can yield (see
+         Sprite_mono.complete_call). *)
+      s.out <- None;
+      cancel_timer t o;
+      Machine.charge t.host.Host.mach
+        [ Machine.Semaphore_op; Machine.Process_switch ];
+      match o.iv with
+      | Some iv -> Sim.Ivar.fill iv outcome
+      | None -> (
+          match outcome with
+          | Ok reply -> Proto.deliver s.upper ~lower:(Option.get s.xs) reply
+          | Error _ -> Stats.incr t.stats "uniform-error"))
+
+let rec arm_timer t s o timeout =
+  o.timer <-
+    Some
+      (Event.schedule t.host timeout (fun () ->
+           match s.out with
+           | Some o' when o' == o ->
+               if o.tries_left <= 0 then complete t s (Error Rpc_error.Timeout)
+               else begin
+                 o.tries_left <- o.tries_left - 1;
+                 Stats.incr t.stats "retransmit";
+                 (* A retransmission asks the server to acknowledge
+                    explicitly if it is still working. *)
+                 let hdr =
+                   header t s
+                     ~flags:(Wire_fmt.Flags.request lor Wire_fmt.Flags.please_ack)
+                     ~seq:o.o_seq ~error:0
+                 in
+                 transmit t s hdr o.payload;
+                 let patience =
+                   if o.acked then t.base_timeout *. 4.
+                   else request_timeout t s (Msg.length o.payload + C.bytes)
+                 in
+                 arm_timer t s o patience
+               end
+           | _ -> ()))
+
+let send_request t s ~iv payload =
+  if s.out <> None then
+    invalid_arg "Channel: transaction already outstanding on this channel";
+  (* Sequence numbers start at 1: a fresh server-side channel holds
+     last_seq = 0, so the first request must compare greater. *)
+  s.next_seq <- s.next_seq + 1;
+  let seq = s.next_seq in
+  let o = { o_seq = seq; iv; payload; timer = None; tries_left = t.retries; acked = false } in
+  s.out <- Some o;
+  Stats.incr t.stats "req-tx";
+  (* The synchronisation intrinsic to request/reply: the calling
+     process blocks until the reply wakes it. *)
+  Machine.charge t.host.Host.mach
+    [ Machine.Semaphore_op; Machine.Process_switch ];
+  transmit t s (header t s ~flags:Wire_fmt.Flags.request ~seq ~error:0) payload;
+  arm_timer t s o (request_timeout t s (Msg.length payload + C.bytes))
+
+let send_reply t s payload =
+  let hdr = header t s ~flags:Wire_fmt.Flags.reply ~seq:s.last_seq ~error:0 in
+  Stats.incr t.stats "reply-tx";
+  s.busy <- false;
+  s.cached_reply <- Some (Msg.push payload (C.encode hdr));
+  Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+  Proto.push s.lower_sess (Msg.push payload (C.encode hdr))
+
+let handle_request t s (hdr : C.t) body =
+  Stats.incr t.stats "req-rx";
+  if hdr.C.boot_id <> s.client_boot then begin
+    (* New incarnation of the client: forget the old channel state. *)
+    s.client_boot <- hdr.C.boot_id;
+    s.last_seq <- 0;
+    s.cached_reply <- None;
+    s.busy <- false
+  end;
+  if hdr.C.sequence_num < s.last_seq then Stats.incr t.stats "stale-rx"
+  else if hdr.C.sequence_num = s.last_seq then begin
+    Stats.incr t.stats "dup-req";
+    match s.cached_reply with
+    | Some encoded ->
+        (* The implicit ack (next request) never came; resend. *)
+        Stats.incr t.stats "cached-reply-tx";
+        Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+        Proto.push s.lower_sess encoded
+    | None ->
+        if s.busy then begin
+          Stats.incr t.stats "ack-tx";
+          transmit t s
+            (header t s ~flags:Wire_fmt.Flags.ack ~seq:hdr.C.sequence_num
+               ~error:0)
+            Msg.empty
+        end
+  end
+  else begin
+    (* A new request implicitly acknowledges the previous reply. *)
+    s.last_seq <- hdr.C.sequence_num;
+    s.cached_reply <- None;
+    s.busy <- true;
+    Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+    Proto.deliver s.upper ~lower:(Option.get s.xs) body
+  end
+
+let handle_reply t s (hdr : C.t) body =
+  match s.out with
+  | Some o when hdr.C.sequence_num = o.o_seq -> (
+      Stats.incr t.stats "reply-rx";
+      let reboot_detected =
+        match s.server_boot with
+        | Some b when b <> hdr.C.boot_id -> true
+        | _ -> false
+      in
+      s.server_boot <- Some hdr.C.boot_id;
+      if reboot_detected && o.tries_left < t.retries then
+        (* The server restarted while we were retransmitting: we cannot
+           know whether the procedure executed. *)
+        complete t s (Error Rpc_error.Rebooted)
+      else
+        match hdr.C.error with
+        | 0 -> complete t s (Ok body)
+        | e -> complete t s (Error (Rpc_error.Remote e)))
+  | _ -> Stats.incr t.stats "stale-rx"
+
+let handle_ack t s (hdr : C.t) =
+  match s.out with
+  | Some o when hdr.C.sequence_num = o.o_seq ->
+      Stats.incr t.stats "ack-rx";
+      o.acked <- true
+  | _ -> Stats.incr t.stats "stale-rx"
+
+let handle_packet t s raw body =
+  match C.decode raw with
+  | None -> Stats.incr t.stats "rx-malformed"
+  | Some hdr ->
+      let f = hdr.C.flags in
+      if f land Wire_fmt.Flags.request <> 0 then handle_request t s hdr body
+      else if f land Wire_fmt.Flags.reply <> 0 then handle_reply t s hdr body
+      else if f land Wire_fmt.Flags.ack <> 0 then handle_ack t s hdr
+      else Stats.incr t.stats "rx-malformed"
+
+let lower_part t ~peer =
+  Part.v
+    ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto t.own_proto ]
+    ~remotes:[ [ Part.Ip peer; Part.Ip_proto t.own_proto ] ]
+    ()
+
+let make_session t ~upper ~peer ~proto_num ~chan =
+  let lower_sess = Proto.open_ t.lower ~upper:t.p (lower_part t ~peer) in
+  let s =
+    {
+      chan;
+      peer;
+      proto_num;
+      upper;
+      lower_sess;
+      xs = None;
+      next_seq = 0;
+      out = None;
+      server_boot = None;
+      last_seq = 0;
+      client_boot = 0;
+      cached_reply = None;
+      busy = false;
+    }
+  in
+  let push msg =
+    (* A busy server session replies; otherwise this is a client
+       request on the uniform (non-blocking) path. *)
+    if s.busy then send_reply t s msg else send_request t s ~iv:None msg
+  in
+  let pop _ = () in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer
+    | Control.Get_my_host -> Control.R_ip t.host.Host.ip
+    | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int proto_num
+    | Control.Get_channel_count -> Control.R_int t.chans
+    | Control.Get_timeout -> Control.R_float t.base_timeout
+    | ( Control.Get_frag_size | Control.Get_max_packet
+      | Control.Get_opt_packet ) as req ->
+        Proto.session_control s.lower_sess req
+    | req -> Stats.control t.stats req
+  in
+  let close () =
+    Hashtbl.remove t.sessions (Addr.Ip.to_int peer, proto_num, chan)
+  in
+  let xs =
+    Proto.make_session t.p
+      ~name:
+        (Printf.sprintf "chan(%s,%d,#%d)" (Addr.Ip.to_string peer) proto_num
+           chan)
+      { push; pop; s_control; close }
+  in
+  s.xs <- Some xs;
+  Hashtbl.replace t.sessions (Addr.Ip.to_int peer, proto_num, chan) s;
+  s
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer =
+    match Part.find_ip peer_part with
+    | Some ip -> ip
+    | None -> invalid_arg "Channel.open_: peer has no IP address"
+  in
+  let proto_num =
+    match
+      (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+    with
+    | Some n, _ | None, Some n -> n
+    | None, None -> invalid_arg "Channel.open_: no IP protocol number"
+  in
+  let chan =
+    match
+      (Part.find_channel part.Part.local, Part.find_channel peer_part)
+    with
+    | Some c, _ | None, Some c -> c
+    | None, None -> invalid_arg "Channel.open_: no channel id"
+  in
+  if chan < 0 || chan >= t.chans then
+    invalid_arg
+      (Printf.sprintf "Channel.open_: channel %d outside the fixed set of %d"
+         chan t.chans);
+  match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, proto_num, chan) with
+  | Some s -> Option.get s.xs
+  | None -> Option.get (make_session t ~upper ~peer ~proto_num ~chan).xs
+
+let input t ~lower msg =
+  (* The channel header carries no host addresses (they would duplicate
+     what every sensible lower layer already knows), so the peer's
+     identity comes from the session the message arrived on. *)
+  match Proto.session_control lower Control.Get_peer_host with
+  | Control.R_ip peer -> (
+      match Msg.pop msg C.bytes with
+      | None -> Stats.incr t.stats "rx-runt"
+      | Some (raw, body) -> (
+          Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+          match C.decode raw with
+          | None -> Stats.incr t.stats "rx-malformed"
+          | Some hdr -> (
+              let key = (Addr.Ip.to_int peer, hdr.C.protocol_num, hdr.C.channel) in
+              match Hashtbl.find_opt t.sessions key with
+              | Some s -> handle_packet t s raw body
+              | None -> (
+                  match Hashtbl.find_opt t.enabled hdr.C.protocol_num with
+                  | Some upper ->
+                      let s =
+                        make_session t ~upper ~peer
+                          ~proto_num:hdr.C.protocol_num ~chan:hdr.C.channel
+                      in
+                      handle_packet t s raw body
+                  | None -> Stats.incr t.stats "rx-unbound"))))
+  | _ -> Stats.incr t.stats "rx-unidentified"
+
+let call t xs msg =
+  let s =
+    let found =
+      Hashtbl.fold
+        (fun _ s acc ->
+          match s.xs with Some x when x == xs -> Some s | _ -> acc)
+        t.sessions None
+    in
+    match found with
+    | Some s -> s
+    | None -> invalid_arg "Channel.call: not a channel session of this protocol"
+  in
+  let iv = Sim.Ivar.create (Host.sim t.host) in
+  send_request t s ~iv:(Some iv) msg;
+  Sim.Ivar.read iv
+
+let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
+    ?(base_timeout = 0.02) ?(per_frag_timeout = 0.003) ?(retries = 5) () =
+  let p = Proto.create ~host ~name:"CHANNEL" () in
+  let t =
+    {
+      host;
+      lower;
+      own_proto = proto_num;
+      chans = n_channels;
+      base_timeout;
+      per_frag_timeout;
+      retries;
+      p;
+      sessions = Hashtbl.create 32;
+      enabled = Hashtbl.create 8;
+      stats = Stats.create ();
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | None -> invalid_arg "Channel.open_enable: no IP protocol number"
+          | Some proto_num ->
+              Hashtbl.replace t.enabled proto_num upper;
+              Proto.open_enable t.lower ~upper:t.p
+                (Part.v ~local:[ Part.Ip_proto t.own_proto ] ()));
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          | Control.Get_channel_count -> Control.R_int t.chans
+          (* Our requests ride whatever the lower layer carries; ask it. *)
+          | Control.Get_max_msg_size | Control.Get_max_packet ->
+              Proto.control t.lower Control.Get_max_packet
+          | Control.Get_opt_packet -> Proto.control t.lower req
+          | Control.Get_boot_id -> Control.R_int host.Host.boot_id
+          | req -> Stats.control t.stats req);
+    };
+  Proto.declare_below p [ lower ];
+  t

@@ -1,0 +1,66 @@
+(** CHANNEL — request/reply with at-most-once semantics (section 3.2).
+
+    The middle layer of layered Sprite RPC.  Each channel is a separate
+    x-kernel session carrying one outstanding transaction, using
+    Sprite's implicit-acknowledgement scheme: a reply acknowledges its
+    request, and the next request on a channel acknowledges the previous
+    reply, so in the common case no acknowledgement packets exist.
+    Timeouts trigger request retransmission; a retransmission asks for
+    an explicit acknowledgement, which a busy server answers with an ACK
+    packet ("I have it; keep waiting").
+
+    At-most-once: the server keeps, per channel, the last sequence
+    number executed and the cached reply; a duplicate request gets the
+    cached reply back instead of a re-execution.  Boot identifiers on
+    both sides detect restarts — a reply from a different incarnation of
+    the server surfaces as [Rebooted] rather than a silent
+    re-execution.
+
+    CHANNEL's timeout is a step function tuned to FRAGMENT living below
+    it as a separate protocol: single-fragment requests use a short
+    timeout; multi-fragment requests wait long enough to be sure the
+    fragmentation layer is not still transmitting (the fragment count is
+    read from the lower session with [control Get_frag_size]). *)
+
+type t
+
+val create :
+  host:Xkernel.Host.t ->
+  lower:Xkernel.Proto.t ->
+  ?proto_num:int ->
+  ?n_channels:int ->
+  ?base_timeout:float ->
+  ?per_frag_timeout:float ->
+  ?retries:int ->
+  unit ->
+  t
+(** [proto_num] (default 93) is CHANNEL's own protocol number toward
+    the layer below (its header's protocol-number field names the upper
+    protocol).  [n_channels] (default 8) is Sprite's fixed, predefined channel
+    count.  Timeout step function: [base_timeout] (default 20 ms) for
+    single-fragment requests; plus [per_frag_timeout] (default 3 ms) per
+    expected fragment otherwise.  [retries] defaults to 5. *)
+
+val proto : t -> Xkernel.Proto.t
+val n_channels : t -> int
+
+val call :
+  t -> Xkernel.Proto.session -> Xkernel.Msg.t ->
+  (Xkernel.Msg.t, Rpc_error.t) result
+(** [call t session request] runs one transaction on [session] (which
+    must be a channel session of [t]): sends, blocks the calling fiber,
+    retransmits on timeout, and returns the reply.  This is the paper's
+    "a high-level protocol pushes a message into the session and a reply
+    message is returned".  Raises [Invalid_argument] if a transaction is
+    already outstanding on the channel. *)
+
+(** Uniform-interface use: [open_] takes [Ip peer], [Ip_proto n] and
+    [Channel c] components.  A plain [push] sends a request whose reply
+    is delivered *up* (via the opener's [demux]) instead of returned.
+    The server side is passive: [open_enable] with [Ip_proto n]; each
+    incoming request is delivered up, and the upper protocol replies by
+    pushing into the session the request arrived on.
+
+    Statistics: ["req-tx"], ["req-rx"], ["reply-tx"], ["reply-rx"],
+    ["retransmit"], ["ack-tx"], ["ack-rx"], ["dup-req"],
+    ["cached-reply-tx"], ["stale-rx"]. *)

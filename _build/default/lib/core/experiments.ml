@@ -1,0 +1,269 @@
+(* Experiment runners for every table and figure of the paper.
+   Shared by bench/main.exe and the bin/xkrpc CLI. *)
+
+open Xkernel
+module World = Netproto.World
+
+let pr = Printf.printf
+let section title = pr "\n=== %s ===\n%!" title
+let hr () = pr "%s\n" (String.make 78 '-')
+
+(* --- shared row machinery ------------------------------------------------ *)
+
+type paper_row = {
+  p_lat : float option;
+  p_tput : float option;
+  p_incr : float option;
+}
+
+let paper ?lat ?tput ?incr () = { p_lat = lat; p_tput = tput; p_incr = incr }
+
+let print_header () =
+  pr "%-30s %18s %22s %24s\n" "Configuration" "Latency (msec)"
+    "Throughput (kB/s)" "Incr. cost (msec/kB)";
+  pr "%-30s %18s %22s %24s\n" "" "paper / here" "paper / here" "paper / here";
+  hr ()
+
+let opt_str f = function Some v -> Printf.sprintf f v | None -> "-"
+
+let print_row name p (r : Measure.row) =
+  pr "%-30s %8s / %-7.2f %10s / %-9.0f %12s / %-9.2f\n%!" name
+    (opt_str "%.2f" p.p_lat) r.Measure.latency_ms
+    (opt_str "%.0f" p.p_tput) r.throughput_kbs
+    (opt_str "%.2f" p.p_incr) r.incr_cost_ms_per_kb
+
+let measure_config ?profile mk =
+  let w = World.create ?profile () in
+  Measure.row w (mk w)
+
+(* --- intro comparison ---------------------------------------------------- *)
+
+let intro () =
+  section "Intro: UDP/IP user-to-user round trip (x-kernel vs SunOS 4.0)";
+  let udp_lat ~profile =
+    let w = World.create ~profile () in
+    let pc, _ = Stacks.udp_probe w ~user_level:true in
+    Measure.probe_latency w pc ~peer:(World.ip_of w 1)
+  in
+  let xk = udp_lat ~profile:Machine.xkernel_sun3 in
+  let sunos = udp_lat ~profile:Machine.sunos_socket in
+  pr "%-30s %8s / %-8s\n" "Configuration" "paper" "here";
+  hr ();
+  pr "%-30s %8.2f / %-8.2f\n" "UDP-IP-ETH in the x-kernel" 2.00 xk;
+  pr "%-30s %8.2f / %-8.2f\n" "UDP in SunOS Release 4.0" 5.36 sunos
+
+(* --- Table I ------------------------------------------------------------- *)
+
+let table1 () =
+  section "Table I: Evaluating VIP";
+  print_header ();
+  (* N.RPC: the monolithic protocol under the heavier native-Sprite
+     kernel cost profile (see DESIGN.md substitutions). *)
+  print_row "N_RPC (Sprite kernel model)"
+    (paper ~lat:2.6 ~tput:700. ~incr:1.2 ())
+    (measure_config ~profile:Machine.sprite_kernel (fun w ->
+         Stacks.mrpc w ~lower:Stacks.L_eth));
+  print_row "M_RPC-ETH"
+    (paper ~lat:1.73 ~tput:863. ~incr:1.04 ())
+    (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_eth));
+  print_row "M_RPC-IP"
+    (paper ~lat:2.10 ~tput:836. ~incr:1.05 ())
+    (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_ip));
+  print_row "M_RPC-VIP"
+    (paper ~lat:1.79 ~tput:860. ~incr:1.04 ())
+    (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip))
+
+(* --- Table II ------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table II: Monolithic RPC versus Layered RPC";
+  print_header ();
+  let mono = measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip) in
+  let layered = measure_config Stacks.lrpc in
+  print_row "M_RPC-VIP" (paper ~lat:1.79 ~tput:860. ~incr:1.04 ()) mono;
+  print_row "L_RPC-VIP" (paper ~lat:1.93 ~tput:839. ~incr:1.03 ()) layered;
+  pr "\nCPU time per 16 KB call (client): monolithic %.2f ms, layered %.2f ms\n"
+    mono.Measure.client_cpu_ms layered.Measure.client_cpu_ms;
+  (* Section 4.2's note: FRAGMENT by itself reaches 865 kB/s. *)
+  let w = World.create () in
+  let pc, _ = Stacks.fragment_probe w in
+  let points =
+    Measure.probe_sweep ~sizes:[ 16384 ] ~iters:4 w pc ~peer:(World.ip_of w 1)
+  in
+  match points with
+  | [ (size, t) ] ->
+      (* the probe echoes the payload, so each direction carries [size]
+         bytes in roughly half the round trip *)
+      pr "FRAGMENT alone (paper 865 kB/s): %.0f kB/s\n"
+        (Measure.throughput_kbs ~size (t /. 2.))
+  | _ -> ()
+
+(* --- Table III ----------------------------------------------------------- *)
+
+let table3 () =
+  section "Table III: Cost of Individual RPC Layers";
+  pr "%-30s %16s %26s\n" "Configuration" "Latency (msec)"
+    "Incr. cost (msec/layer)";
+  pr "%-30s %16s %26s\n" "" "paper / here" "paper / here";
+  hr ();
+  let probe_lat mk =
+    let w = World.create () in
+    let pc, _ = mk w in
+    Measure.probe_latency w pc ~peer:(World.ip_of w 1)
+  in
+  let call_lat mk =
+    let w = World.create () in
+    Measure.latency w (mk w)
+  in
+  let vip = probe_lat Stacks.vip_probe in
+  let frag = probe_lat Stacks.fragment_probe in
+  let chan = call_lat Stacks.channel_fragment_vip in
+  let full = call_lat Stacks.lrpc in
+  let row name ~paper_lat ~paper_incr ~here ~prev =
+    let incr =
+      match prev with None -> "NA" | Some p -> Printf.sprintf "%.2f" (here -. p)
+    in
+    pr "%-30s %6.2f / %-7.2f %10s / %-8s\n" name paper_lat here
+      (match paper_incr with None -> "NA" | Some v -> Printf.sprintf "%.2f" v)
+      incr
+  in
+  row "VIP" ~paper_lat:1.12 ~paper_incr:None ~here:vip ~prev:None;
+  row "FRAGMENT-VIP" ~paper_lat:1.33 ~paper_incr:(Some 0.21) ~here:frag
+    ~prev:(Some vip);
+  row "CHANNEL-FRAGMENT-VIP" ~paper_lat:1.82 ~paper_incr:(Some 0.49) ~here:chan
+    ~prev:(Some frag);
+  row "SELECT-CHANNEL-FRAGMENT-VIP" ~paper_lat:1.93 ~paper_incr:(Some 0.11)
+    ~here:full ~prev:(Some chan)
+
+(* --- Section 4.3: dynamically removing layers --------------------------- *)
+
+let removal () =
+  section "Section 4.3: Dynamically Removing Layers (Figure 3)";
+  let mono =
+    let w = World.create () in
+    Measure.latency w (Stacks.mrpc w ~lower:Stacks.L_vip)
+  in
+  let layered =
+    let w = World.create () in
+    Measure.latency w (Stacks.lrpc w)
+  in
+  let w = World.create () in
+  let e = Stacks.lrpc_vip_size w in
+  let bypass = Measure.latency w e in
+  pr "%-34s %8s / %-8s\n" "Configuration" "paper" "here";
+  hr ();
+  pr "%-34s %8.2f / %-8.2f\n" "M_RPC-VIP (monolithic)" 1.79 mono;
+  pr "%-34s %8.2f / %-8.2f\n" "SELECT-CHANNEL-FRAGMENT-VIP" 1.93 layered;
+  pr "%-34s %8.2f / %-8.2f\n" "SELECT-CHANNEL-VIPsize (fig 3b)" 1.78 bypass;
+  pr "\nBypassing FRAGMENT recovers %.2f of the %.2f msec layering penalty.\n"
+    (layered -. bypass) (layered -. mono);
+  (* bulk traffic still flows (through FRAGMENT below VIPsize) *)
+  let ok =
+    let payload = Msg.fill 16000 'b' in
+    let r = ref false in
+    World.spawn w (fun () ->
+        r :=
+          match e.Stacks.call ~command:Stacks.cmd_echo payload with
+          | Ok reply -> Msg.length reply = 16000
+          | Error _ -> false);
+    World.run w;
+    !r
+  in
+  pr "16 KB messages still travel via FRAGMENT below VIPsize: %s\n"
+    (if ok then "yes" else "NO - BROKEN")
+
+(* --- figures: protocol graphs ------------------------------------------- *)
+
+(* [fig2_extra] lets callers that link higher layers (Psync lives in a
+   library above this one) contribute protocols to the Figure 2 suite. *)
+let figures ?fig2_extra () =
+  section "Figure 1: example x-kernel configuration (protocol graph)";
+  let w = World.create () in
+  let n0 = World.node w 0 in
+  let udp =
+    Netproto.Udp.create ~host:n0.World.host
+      ~lower:(Netproto.Ip.proto n0.World.ip) ()
+  in
+  Format.printf "%a" Proto.pp_graph [ Netproto.Udp.proto udp ];
+  section "Figure 2: VIP protocol suite (RPC, Psync, UDP above VIP)";
+  let w2 = World.create () in
+  let n0 = World.node w2 0 in
+  let frag =
+    Fragment.create ~host:n0.World.host
+      ~lower:(Netproto.Vip.proto n0.World.vip) ()
+  in
+  let chan =
+    Channel.create ~host:n0.World.host ~lower:(Fragment.proto frag) ()
+  in
+  let sel = Select.create ~host:n0.World.host ~channel:chan () in
+  let udp2 =
+    Netproto.Udp.create ~host:n0.World.host
+      ~lower:(Netproto.Vip.proto n0.World.vip) ()
+  in
+  let extra =
+    match fig2_extra with
+    | Some f -> [ f ~host:n0.World.host ~lower:(Fragment.proto frag) ]
+    | None -> []
+  in
+  Format.printf "%a" Proto.pp_graph
+    ([ Select.proto sel ] @ extra @ [ Netproto.Udp.proto udp2 ]);
+  section "Figure 3: alternative configurations using RPC layers";
+  let w3 = World.create () in
+  let n = World.node w3 0 in
+  let fa =
+    Fragment.create ~host:n.World.host
+      ~lower:(Netproto.Vip.proto n.World.vip) ()
+  in
+  let ca =
+    Channel.create ~host:n.World.host ~lower:(Fragment.proto fa) ()
+  in
+  let sa = Select.create ~host:n.World.host ~channel:ca () in
+  pr "(a) FRAGMENT above VIP:\n";
+  Format.printf "%a" Proto.pp_graph [ Select.proto sa ];
+  let w4 = World.create () in
+  let n = World.node w4 0 in
+  let vaddr = Netproto.Vip_addr.proto n.World.vip_addr in
+  let fb = Fragment.create ~host:n.World.host ~lower:vaddr () in
+  let vsize =
+    Netproto.Vip_size.create ~host:n.World.host ~bulk:(Fragment.proto fb)
+      ~direct:vaddr ~arp:n.World.arp
+  in
+  let cb =
+    Channel.create ~host:n.World.host
+      ~lower:(Netproto.Vip_size.proto vsize) ()
+  in
+  let sb = Select.create ~host:n.World.host ~channel:cb () in
+  pr "(b) FRAGMENT below VIPsize:\n";
+  Format.printf "%a" Proto.pp_graph [ Select.proto sb ]
+
+(* --- ablation: buffer management ----------------------------------------- *)
+
+let ablation () =
+  section "Ablation: buffer management (section 5, Potential Pitfalls)";
+  let lat scheme =
+    let profile = Machine.with_buffer_scheme scheme Machine.xkernel_sun3 in
+    let w = World.create ~profile () in
+    Measure.latency w (Stacks.lrpc w)
+  in
+  let pre = lat Machine.Prealloc in
+  let per = lat Machine.Per_header_alloc in
+  pr "L.RPC-VIP latency, pre-allocated header buffer:  %.2f msec\n" pre;
+  pr "L.RPC-VIP latency, per-header buffer allocation: %.2f msec\n" per;
+  pr
+    "(paper: per-header allocation raised the minimum per-layer cost from\n\
+    \ 0.11 to 0.50 msec; the %.2f msec gap above is that error, repeated at\n\
+    \ every layer of the stack)\n"
+    (per -. pre)
+
+(* --- CPU-time comparison -------------------------------------------------- *)
+
+let cpu_note () =
+  section "CPU time (sections 4.1-4.2: VIP and layering use less CPU)";
+  let row name mk =
+    let r = measure_config mk in
+    pr "%-30s client CPU per 16 KB call: %.2f ms\n" name r.Measure.client_cpu_ms
+  in
+  row "M_RPC-IP" (fun w -> Stacks.mrpc w ~lower:Stacks.L_ip);
+  row "M_RPC-VIP" (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip);
+  row "L_RPC-VIP" Stacks.lrpc
+

@@ -1,0 +1,370 @@
+open Xkernel
+module F = Wire_fmt.Fragment
+
+let max_frags = 16 (* the 16-bit fragment mask *)
+
+type reasm = {
+  pieces : Msg.t option array;
+  mutable have : int; (* mask of fragments received *)
+  r_num : int;
+  mutable nacks_left : int;
+}
+
+type send_entry = { frags : (F.t * Msg.t) array }
+
+type sess = {
+  peer : Addr.Ip.t;
+  proto_num : int;
+  upper : Proto.t;
+  lower_sess : Proto.session;
+  mutable next_seq : int;
+  cache : (int, send_entry) Hashtbl.t; (* sent messages awaiting discard *)
+  reasm : (int, reasm) Hashtbl.t;
+  recent : (int, float) Hashtbl.t; (* recently completed sequence numbers *)
+  mutable xs : Proto.session option;
+}
+
+type t = {
+  host : Host.t;
+  lower : Proto.t;
+  own_proto : int;
+      (* FRAGMENT's own protocol number toward the layer below; the
+         protocol-number *field* in its header names the layer above *)
+  mutable frag_size : int;
+  cache_ttl : float;
+  nack_delay : float;
+  nack_retries : int;
+  p : Proto.t;
+  sessions : (int * int, sess) Hashtbl.t; (* (peer, proto_num) *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let max_message t = max_frags * t.frag_size
+let full_mask num = (1 lsl num) - 1
+
+let lower_part t ~peer =
+  Part.v
+    ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto t.own_proto ]
+    ~remotes:[ [ Part.Ip peer; Part.Ip_proto t.own_proto ] ]
+    ()
+
+let send_fragment t s (hdr, piece) =
+  Machine.charge t.host.Host.mach
+    [ Machine.Frag_bookkeep; Machine.Header F.bytes ];
+  Stats.incr t.stats "tx-frag";
+  Proto.push s.lower_sess (Msg.push piece (F.encode hdr))
+
+(* Sender side: split, transmit, cache, and arm the discard timer (no
+   positive acks exist, so only time frees the cache).
+
+   The 16-bit fragment mask allows at most 16 fragments, so messages a
+   little larger than 16 x frag_size (an upper protocol's headers on a
+   16 KB payload, say) round the fragment size up — bounded by what the
+   layer below can carry in one packet. *)
+let push_message t s msg =
+  let len = Msg.length msg in
+  let cap =
+    match Proto.session_control s.lower_sess Control.Get_opt_packet with
+    | Control.R_int n -> n - F.bytes
+    | _ -> t.frag_size
+  in
+  let chunk = min cap (max t.frag_size ((len + max_frags - 1) / max_frags)) in
+  let num = max 1 ((len + chunk - 1) / chunk) in
+  if num > max_frags then Stats.incr t.stats "too-big"
+  else begin
+    let seq = s.next_seq in
+    s.next_seq <- s.next_seq + 1;
+    Stats.incr t.stats "tx-msg";
+    let frag i =
+      let off = i * chunk in
+      let this = min chunk (len - off) in
+      let piece = if this <= 0 then Msg.empty else Msg.sub msg off this in
+      ( {
+          F.typ = F.typ_data;
+          clnt_host = t.host.Host.ip;
+          srvr_host = s.peer;
+          protocol_num = s.proto_num;
+          sequence_num = seq;
+          num_frags = num;
+          frag_mask = 1 lsl i;
+          len = Msg.length piece;
+        },
+        piece )
+    in
+    let entry = { frags = Array.init num frag } in
+    Hashtbl.replace s.cache seq entry;
+    ignore
+      (Event.schedule t.host t.cache_ttl (fun () ->
+           if Hashtbl.mem s.cache seq then begin
+             Hashtbl.remove s.cache seq;
+             Stats.incr t.stats "cache-drop"
+           end));
+    Array.iter (send_fragment t s) entry.frags
+  end
+
+let send_nack t s ~seq ~num ~missing =
+  Stats.incr t.stats "nack-tx";
+  let hdr =
+    {
+      F.typ = F.typ_nack;
+      clnt_host = t.host.Host.ip;
+      srvr_host = s.peer;
+      protocol_num = s.proto_num;
+      sequence_num = seq;
+      num_frags = num;
+      frag_mask = missing;
+      len = 0;
+    }
+  in
+  Machine.charge t.host.Host.mach [ Machine.Header F.bytes ];
+  Proto.push s.lower_sess (Msg.of_string (F.encode hdr))
+
+(* Receiver side: the persistence mechanism.  While a message sits
+   incomplete, periodically ask the sender for exactly the missing
+   fragments; give up after [nack_retries] — the layer is unreliable. *)
+let rec arm_gap_timer t s seq =
+  ignore
+    (Event.schedule t.host t.nack_delay (fun () ->
+         match Hashtbl.find_opt s.reasm seq with
+         | None -> ()
+         | Some entry ->
+             if entry.nacks_left <= 0 then begin
+               Hashtbl.remove s.reasm seq;
+               Stats.incr t.stats "give-up"
+             end
+             else begin
+               entry.nacks_left <- entry.nacks_left - 1;
+               let missing = full_mask entry.r_num land lnot entry.have in
+               send_nack t s ~seq ~num:entry.r_num ~missing;
+               arm_gap_timer t s seq
+             end))
+
+let prune_recent t s =
+  let now = Sim.now (Host.sim t.host) in
+  let stale =
+    Hashtbl.fold
+      (fun seq time acc -> if now -. time > t.cache_ttl then seq :: acc else acc)
+      s.recent []
+  in
+  List.iter (Hashtbl.remove s.recent) stale
+
+let deliver_complete t s msg =
+  prune_recent t s;
+  Stats.incr t.stats "rx-msg";
+  Proto.deliver s.upper ~lower:(Option.get s.xs) msg
+
+let handle_data t s (hdr : F.t) piece =
+  let seq = hdr.F.sequence_num in
+  if Hashtbl.mem s.recent seq then Stats.incr t.stats "rx-dup-complete"
+  else if hdr.F.num_frags = 1 then begin
+    Hashtbl.replace s.recent seq (Sim.now (Host.sim t.host));
+    deliver_complete t s piece
+  end
+  else begin
+    let num = hdr.F.num_frags in
+    if num < 1 || num > max_frags then Stats.incr t.stats "rx-malformed"
+    else
+      let idx =
+        let rec find i =
+          if i >= num then None
+          else if hdr.F.frag_mask = 1 lsl i then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      match idx with
+      | None -> Stats.incr t.stats "rx-malformed"
+      | Some idx -> (
+          let entry =
+            match Hashtbl.find_opt s.reasm seq with
+            | Some e -> e
+            | None ->
+                let e =
+                  {
+                    pieces = Array.make num None;
+                    have = 0;
+                    r_num = num;
+                    nacks_left = t.nack_retries;
+                  }
+                in
+                Hashtbl.replace s.reasm seq e;
+                arm_gap_timer t s seq;
+                e
+          in
+          if entry.r_num <> num then Stats.incr t.stats "rx-malformed"
+          else begin
+            if entry.pieces.(idx) = None then begin
+              entry.pieces.(idx) <- Some piece;
+              entry.have <- entry.have lor (1 lsl idx)
+            end
+            else Stats.incr t.stats "rx-dup-frag";
+            if entry.have = full_mask num then begin
+              Hashtbl.remove s.reasm seq;
+              Hashtbl.replace s.recent seq (Sim.now (Host.sim t.host));
+              let whole =
+                Array.fold_left
+                  (fun acc piece -> Msg.append acc (Option.get piece))
+                  Msg.empty entry.pieces
+              in
+              deliver_complete t s whole
+            end
+          end)
+  end
+
+let handle_nack t s (hdr : F.t) =
+  Stats.incr t.stats "nack-rx";
+  match Hashtbl.find_opt s.cache hdr.F.sequence_num with
+  | None -> Stats.incr t.stats "nack-stale"
+  | Some entry ->
+      Array.iter
+        (fun ((fh : F.t), _piece as frag) ->
+          if fh.F.frag_mask land hdr.F.frag_mask <> 0 then begin
+            Stats.incr t.stats "retransmit";
+            send_fragment t s frag
+          end)
+        entry.frags
+
+let make_session t ~upper ~peer ~proto_num =
+  let lower_sess = Proto.open_ t.lower ~upper:t.p (lower_part t ~peer) in
+  let s =
+    {
+      peer;
+      proto_num;
+      upper;
+      lower_sess;
+      next_seq = 1;
+      cache = Hashtbl.create 8;
+      reasm = Hashtbl.create 8;
+      recent = Hashtbl.create 16;
+      xs = None;
+    }
+  in
+  let push msg = push_message t s msg in
+  let pop _msg = () (* all delivery goes through deliver_complete *) in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer
+    | Control.Get_my_host -> Control.R_ip t.host.Host.ip
+    | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int proto_num
+    | Control.Get_frag_size -> Control.R_int t.frag_size
+    | Control.Get_max_packet -> Control.R_int (max_message t)
+    | Control.Get_opt_packet -> Control.R_int t.frag_size
+    | req -> Stats.control t.stats req
+  in
+  let close () =
+    Hashtbl.remove t.sessions (Addr.Ip.to_int peer, proto_num)
+  in
+  let xs =
+    Proto.make_session t.p
+      ~name:(Printf.sprintf "frag(%s,%d)" (Addr.Ip.to_string peer) proto_num)
+      { push; pop; s_control; close }
+  in
+  s.xs <- Some xs;
+  Hashtbl.replace t.sessions (Addr.Ip.to_int peer, proto_num) s;
+  s
+
+let find_or_create t ~peer ~proto_num =
+  match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, proto_num) with
+  | Some s -> Some s
+  | None -> (
+      match Hashtbl.find_opt t.enabled proto_num with
+      | Some upper -> Some (make_session t ~upper ~peer ~proto_num)
+      | None -> None)
+
+let input t msg =
+  Machine.charge t.host.Host.mach
+    [ Machine.Header F.bytes; Machine.Frag_bookkeep ];
+  match Msg.pop msg F.bytes with
+  | None -> Stats.incr t.stats "rx-runt"
+  | Some (raw, rest) -> (
+      match F.decode raw with
+      | None -> Stats.incr t.stats "rx-malformed"
+      | Some hdr -> (
+          Stats.incr t.stats "rx-frag";
+          (* The peer is whoever sent this packet. *)
+          match find_or_create t ~peer:hdr.F.clnt_host ~proto_num:hdr.F.protocol_num with
+          | None -> Stats.incr t.stats "rx-unbound"
+          | Some s ->
+              if hdr.F.typ = F.typ_nack then handle_nack t s hdr
+              else if hdr.F.typ = F.typ_data then begin
+                if Msg.length rest < hdr.F.len then
+                  Stats.incr t.stats "rx-short"
+                else handle_data t s hdr (Msg.sub rest 0 hdr.F.len)
+              end
+              else Stats.incr t.stats "rx-malformed"))
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer =
+    match Part.find_ip peer_part with
+    | Some ip -> ip
+    | None -> invalid_arg "Fragment.open_: peer has no IP address"
+  in
+  let proto_num =
+    match
+      (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+    with
+    | Some n, _ | None, Some n -> n
+    | None, None -> invalid_arg "Fragment.open_: no IP protocol number"
+  in
+  let s =
+    match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, proto_num) with
+    | Some s -> s
+    | None -> make_session t ~upper ~peer ~proto_num
+  in
+  Option.get s.xs
+
+let create ~host ~lower ?(proto_num = 92) ?(frag_size = 1024)
+    ?(cache_ttl = 2.0) ?(nack_delay = 0.03) ?(nack_retries = 3) () =
+  let p = Proto.create ~host ~name:"FRAGMENT" () in
+  let t =
+    {
+      host;
+      lower;
+      own_proto = proto_num;
+      frag_size;
+      cache_ttl;
+      nack_delay;
+      nack_retries;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 8;
+      stats = Stats.create ();
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | None -> invalid_arg "Fragment.open_enable: no IP protocol number"
+          | Some proto_num ->
+              Hashtbl.replace t.enabled proto_num upper;
+              (* FRAGMENT itself must be reachable from below, under
+                 its own protocol number. *)
+              Proto.open_enable t.lower ~upper:t.p
+                (Part.v ~local:[ Part.Ip_proto t.own_proto ] ()));
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower:_ msg -> input t msg);
+      p_control =
+        (fun req ->
+          match req with
+          (* What we push below is one fragment plus our header, so a
+             VIP beneath us can safely choose the ethernet-only path. *)
+          | Control.Get_max_msg_size -> Control.R_int (t.frag_size + F.bytes)
+          | Control.Get_max_packet -> Control.R_int (max_message t)
+          | Control.Get_opt_packet -> Control.R_int t.frag_size
+          | Control.Get_frag_size -> Control.R_int t.frag_size
+          | Control.Set_frag_size n ->
+              if n < 1 || n > 65535 then Control.Unsupported
+              else begin
+                t.frag_size <- n;
+                Control.R_unit
+              end
+          | Control.Get_my_host -> Control.R_ip host.Host.ip
+          | req -> Stats.control t.stats req);
+    };
+  Proto.declare_below p [ lower ];
+  t

@@ -1,0 +1,59 @@
+(** FRAGMENT — unreliable, persistent bulk transfer (section 3.2).
+
+    The bottom layer of layered Sprite RPC, deliberately carved out so
+    other protocols (Psync, Sun RPC mixes) can reuse it.  Semantics:
+
+    - {b unreliable}: messages may arrive out of order, duplicated, or
+      not at all; no positive acknowledgements are ever sent;
+    - {b persistent}: a receiver missing fragments asks the sender for
+      exactly those fragments (a NACK carrying the missing-fragment
+      mask), a bounded number of times;
+    - the sender keeps a copy of each message's fragments and discards
+      it when a timer expires — not when the message is acknowledged,
+      because it never is;
+    - a message re-pushed by a higher-level protocol (e.g. a CHANNEL
+      retransmission) is an independent message with a fresh sequence
+      number.
+
+    Each message is split into at most 16 fragments (the 16-bit
+    fragment mask), 1 KB each by default, carrying the 23-byte
+    FRAGMENT_HDR of the paper's appendix. *)
+
+type t
+
+val create :
+  host:Xkernel.Host.t ->
+  lower:Xkernel.Proto.t ->
+  ?proto_num:int ->
+  ?frag_size:int ->
+  ?cache_ttl:float ->
+  ?nack_delay:float ->
+  ?nack_retries:int ->
+  unit ->
+  t
+(** [proto_num] (default 92) is FRAGMENT's *own* protocol number toward
+    the layer below; the protocol-number field inside its header names
+    whichever upper protocol each message belongs to — the reason a
+    reusable layer "must have its own protocol number (type) field"
+    (section 3.2).  [frag_size] defaults to 1024 (Sprite's fragment size: a 16 KB
+    message becomes 16 packets, per section 4.2); [cache_ttl] (default
+    2 s) is the sender-side discard timer; [nack_delay] (default
+    30 ms) is how long a receiver waits on an incomplete message before
+    requesting the missing fragments, rearmed up to [nack_retries]
+    (default 3) times. *)
+
+val proto : t -> Xkernel.Proto.t
+
+val max_message : t -> int
+(** 16 × fragment size: the largest message one FRAGMENT sequence
+    number can carry. *)
+
+(** Participants: like VIP — [Ip peer] + [Ip_proto n].  Sessions answer
+    [Get_peer_host], [Get_frag_size], [Get_max_packet]
+    (= [max_message]), [Get_opt_packet] (= fragment size).  The protocol
+    answers [Get_max_msg_size] with fragment size + header, so a VIP
+    *below* FRAGMENT knows it never needs the IP path for local peers.
+
+    Statistics: ["tx-msg"], ["tx-frag"], ["rx-msg"], ["rx-frag"],
+    ["nack-tx"], ["nack-rx"], ["retransmit"], ["cache-drop"],
+    ["give-up"]. *)

@@ -1,0 +1,53 @@
+(** Measurement harness for the paper's experiments.
+
+    Reproduces the methodology of section 4: latency is the averaged
+    round-trip time of a null procedure with null arguments; throughput
+    sends a series of large requests (1 KB to 16 KB) with null replies;
+    the incremental cost is the least-squares slope of round-trip time
+    over message size.  All times are virtual seconds from the
+    simulator; the [runs]×[iters] double aggregation mirrors the
+    paper's repeated 10,000-call runs (scaled down — the simulator is
+    deterministic, so variance across runs is zero by construction and
+    fewer iterations suffice). *)
+
+type row = {
+  row_name : string;
+  latency_ms : float;  (** null-call round trip, msec *)
+  throughput_kbs : float;
+      (** 16 KB-request throughput, kbytes (1000 bytes) per second *)
+  incr_cost_ms_per_kb : float;  (** msec per additional 1 KB *)
+  client_cpu_ms : float;  (** client CPU time per 16 KB call *)
+}
+
+val latency :
+  ?warmup:int -> ?iters:int -> Netproto.World.t -> Stacks.endpoints -> float
+(** Average null-call round trip in msec.  Drives the simulator. *)
+
+val sweep :
+  ?sizes:int list -> ?iters:int -> Netproto.World.t -> Stacks.endpoints ->
+  (int * float) list
+(** [(size, seconds per call)] for each request size (default
+    1 KB..16 KB in 1 KB steps), null replies. *)
+
+val probe_latency :
+  ?warmup:int -> ?iters:int -> ?size:int -> Netproto.World.t ->
+  Netproto.Probe.t -> peer:Xkernel.Addr.Ip.t -> float
+(** Same for a Probe-based stack (Table III rows without RPC). *)
+
+val probe_sweep :
+  ?sizes:int list -> ?iters:int -> Netproto.World.t -> Netproto.Probe.t ->
+  peer:Xkernel.Addr.Ip.t -> (int * float) list
+(** Size sweep for Probe stacks.  Note both directions carry [size]
+    bytes (Probe echoes), unlike RPC's null replies. *)
+
+val fit_slope : (int * float) list -> float
+(** Least-squares slope in msec per KB over a [(bytes, seconds)]
+    series. *)
+
+val throughput_kbs : size:int -> float -> float
+(** [throughput_kbs ~size seconds] = kbytes (1000 bytes)/second. *)
+
+val row :
+  Netproto.World.t -> Stacks.endpoints -> row
+(** Full Table I/II row: latency, 16 KB throughput, incremental cost,
+    client CPU per 16 KB call. *)

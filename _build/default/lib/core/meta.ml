@@ -1,0 +1,79 @@
+open Xkernel
+
+type issue = { about : string; rule : string; detail : string }
+
+let int_answer p req =
+  match Proto.control p req with Control.R_int n -> Some n | _ -> None
+
+let carrying_capacity p =
+  match int_answer p Control.Get_max_packet with
+  | Some n -> Some n
+  | None -> int_answer p Control.Get_mtu
+
+(* Walk the declared graph once, visiting each distinct protocol object
+   and each (upper, lower) edge. *)
+let walk tops ~node ~edge =
+  let seen = ref [] in
+  let rec visit p =
+    if not (List.memq p !seen) then begin
+      seen := p :: !seen;
+      node p;
+      List.iter
+        (fun lower ->
+          edge p lower;
+          visit lower)
+        (Proto.below p)
+    end
+  in
+  List.iter visit tops
+
+let check tops =
+  let issues = ref [] in
+  let add about rule detail = issues := { about; rule; detail } :: !issues in
+  let node p =
+    let name = Proto.name p in
+    let is_leaf = Proto.below p = [] in
+    if (not is_leaf) && not (Proto.is_virtual p) then begin
+      match carrying_capacity p with
+      | Some _ -> ()
+      | None ->
+          (* tops that only originate traffic are exempt: nobody above
+             them asks; interior layers must answer *)
+          if List.exists (fun lower -> Proto.below lower <> []) (Proto.below p)
+             && int_answer p Control.Get_max_msg_size <> None
+          then ()
+          else if not (List.memq p tops) then
+            add name "answerability"
+              "interior protocol answers neither Get_max_packet nor Get_mtu"
+    end;
+    if Proto.is_virtual p && Proto.below p = [] then
+      add name "virtual-discipline"
+        "virtual protocol with nothing below it has no wire to multiplex"
+  in
+  let edge upper lower =
+    match
+      (int_answer upper Control.Get_max_msg_size, carrying_capacity lower)
+    with
+    | Some declared, Some capacity when declared > capacity ->
+        add
+          (Printf.sprintf "%s over %s" (Proto.name upper) (Proto.name lower))
+          "size-compatibility"
+          (Printf.sprintf
+             "advertises messages of up to %d bytes but the layer below \
+              carries at most %d"
+             declared capacity)
+    | _ -> ()
+  in
+  walk tops ~node ~edge;
+  List.rev !issues
+
+let pp_report fmt issues =
+  match issues with
+  | [] ->
+      Format.fprintf fmt
+        "composition adheres to the meta-protocol (no rule violations)@."
+  | issues ->
+      List.iter
+        (fun { about; rule; detail } ->
+          Format.fprintf fmt "[%s] %s: %s@." rule about detail)
+        issues

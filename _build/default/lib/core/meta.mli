@@ -1,0 +1,38 @@
+(** The meta-protocol: composition rules (section 6).
+
+    The paper closes with "we are experimenting with a meta-protocol
+    that establishes a set of 'rules' for protocol design … the idea is
+    that protocols that adhere to the meta-protocol will be more easily
+    composed."  This module is a checker for those rules, run over the
+    declared protocol graph and each object's [control] answers:
+
+    - {b size compatibility}: a protocol that advertises a maximum
+      message size must fit inside what the layer below can carry in
+      one unit ([Get_max_msg_size] ≤ lower's [Get_max_packet]);
+    - {b answerability}: every non-leaf protocol must answer
+      [Get_max_packet] or [Get_mtu], or upper layers cannot size their
+      messages (the "Information Loss" requirement);
+    - {b virtual discipline}: a virtual protocol must sit on at least
+      one lower protocol (it has no wire of its own).
+
+    Composing Figure 3(b) during this reproduction hit exactly the kind
+    of mistake such rules catch: two different layers sharing one
+    protocol number below a virtual protocol, making their packets
+    indistinguishable.  The standard-type-field rule is embodied
+    structurally here (FRAGMENT, CHANNEL, REQUEST_REPLY, AUTH and
+    STREAM each carry their own number toward the layer below). *)
+
+type issue = {
+  about : string;  (** protocol (or edge) the issue concerns *)
+  rule : string;  (** which rule failed *)
+  detail : string;
+}
+
+val check : Xkernel.Proto.t list -> issue list
+(** [check tops] walks the graph below the given top-level protocols
+    (via the edges recorded by [Proto.declare_below]) and returns every
+    rule violation; [[]] means the composition adheres to the
+    meta-protocol. *)
+
+val pp_report : Format.formatter -> issue list -> unit
+(** Human-readable report; prints an "adheres" line when empty. *)

@@ -1,0 +1,280 @@
+open Xkernel
+
+let header_bytes = 9
+let typ_call = 1
+let typ_reply = 2
+
+type pending = {
+  p_xid : int;
+  iv : (Msg.t, Rpc_error.t) result Sim.Ivar.ivar;
+  payload : Msg.t;
+  mutable timer : Event.t option;
+  mutable tries_left : int;
+}
+
+type sess = {
+  peer : Addr.Ip.t;
+  upper_proto : int;
+  upper : Proto.t;
+  lower_sess : Proto.session;
+  mutable xs : Proto.session option;
+  pending : (int, pending) Hashtbl.t; (* xid *)
+  (* server side: xid of the request being delivered up right now; the
+     upper protocol's synchronous reply push answers it *)
+  mutable serving_xid : int option;
+}
+
+type t = {
+  host : Host.t;
+  lower : Proto.t;
+  own_proto : int;
+  timeout : float;
+  retries : int;
+  p : Proto.t;
+  sessions : (int * int, sess) Hashtbl.t; (* (peer, upper proto) *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  mutable next_xid : int;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let executions t = Stats.get t.stats "executed"
+
+let encode ~typ ~xid ~proto_num =
+  let w = Codec.W.create ~size:header_bytes () in
+  Codec.W.u8 w typ;
+  Codec.W.u32 w xid;
+  Codec.W.u32 w proto_num;
+  Codec.W.contents w
+
+let decode raw =
+  let r = Codec.R.of_string raw in
+  let typ = Codec.R.u8 r in
+  let xid = Codec.R.u32 r in
+  let proto_num = Codec.R.u32 r in
+  (typ, xid, proto_num)
+
+let transmit t s ~typ ~xid payload =
+  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Proto.push s.lower_sess
+    (Msg.push payload (encode ~typ ~xid ~proto_num:s.upper_proto))
+
+let finish t s p outcome =
+  (* Remove the pending entry before anything that can yield, so a
+     duplicated reply cannot finish the same transaction twice. *)
+  Hashtbl.remove s.pending p.p_xid;
+  (match p.timer with
+  | Some ev ->
+      ignore (Event.cancel t.host ev);
+      p.timer <- None
+  | None -> ());
+  Machine.charge t.host.Host.mach
+    [ Machine.Semaphore_op; Machine.Process_switch ];
+  Sim.Ivar.fill p.iv outcome
+
+let rec arm_timer t s p =
+  p.timer <-
+    Some
+      (Event.schedule t.host t.timeout (fun () ->
+           if Hashtbl.mem s.pending p.p_xid then begin
+             if p.tries_left <= 0 then finish t s p (Error Rpc_error.Timeout)
+             else begin
+               p.tries_left <- p.tries_left - 1;
+               Stats.incr t.stats "retransmit";
+               (* No server-side memory of this xid exists: the
+                  retransmission may execute the procedure again.
+                  Zero-or-more semantics. *)
+               transmit t s ~typ:typ_call ~xid:p.p_xid p.payload;
+               arm_timer t s p
+             end
+           end))
+
+let start_call t s payload =
+  t.next_xid <- t.next_xid + 1;
+  let xid = t.next_xid in
+  let p =
+    {
+      p_xid = xid;
+      iv = Sim.Ivar.create (Host.sim t.host);
+      payload;
+      timer = None;
+      tries_left = t.retries;
+    }
+  in
+  Hashtbl.replace s.pending xid p;
+  Stats.incr t.stats "call-tx";
+  Machine.charge t.host.Host.mach
+    [ Machine.Semaphore_op; Machine.Process_switch ];
+  transmit t s ~typ:typ_call ~xid payload;
+  arm_timer t s p;
+  p.iv
+
+let lower_part t ~peer =
+  Part.v
+    ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto t.own_proto ]
+    ~remotes:[ [ Part.Ip peer; Part.Ip_proto t.own_proto ] ]
+    ()
+
+let make_session t ~upper ~peer ~upper_proto =
+  let lower_sess = Proto.open_ t.lower ~upper:t.p (lower_part t ~peer) in
+  let s =
+    {
+      peer;
+      upper_proto;
+      upper;
+      lower_sess;
+      xs = None;
+      pending = Hashtbl.create 8;
+      serving_xid = None;
+    }
+  in
+  let push msg =
+    match s.serving_xid with
+    | Some xid ->
+        (* Reply to the request currently being served. *)
+        s.serving_xid <- None;
+        Stats.incr t.stats "reply-tx";
+        transmit t s ~typ:typ_reply ~xid msg
+    | None -> ignore (start_call t s msg)
+  in
+  let pop _ = () in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer
+    | Control.Get_my_host -> Control.R_ip t.host.Host.ip
+    | Control.Get_peer_proto | Control.Get_my_proto ->
+        Control.R_int upper_proto
+    | Control.Get_timeout -> Control.R_float t.timeout
+    | ( Control.Get_frag_size | Control.Get_max_packet
+      | Control.Get_opt_packet ) as req ->
+        Proto.session_control lower_sess req
+    | req -> Stats.control t.stats req
+  in
+  let close () =
+    Hashtbl.remove t.sessions (Addr.Ip.to_int peer, upper_proto)
+  in
+  let xs =
+    Proto.make_session t.p
+      ~name:(Printf.sprintf "rr(%s,%d)" (Addr.Ip.to_string peer) upper_proto)
+      { push; pop; s_control; close }
+  in
+  s.xs <- Some xs;
+  Hashtbl.replace t.sessions (Addr.Ip.to_int peer, upper_proto) s;
+  s
+
+let session t ~peer ~upper_proto =
+  match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, upper_proto) with
+  | Some s -> Option.get s.xs
+  | None -> Option.get (make_session t ~upper:t.p ~peer ~upper_proto).xs
+
+let call t xs msg =
+  let s =
+    Hashtbl.fold
+      (fun _ s acc -> match s.xs with Some x when x == xs -> Some s | _ -> acc)
+      t.sessions None
+  in
+  match s with
+  | None -> invalid_arg "Request_reply.call: unknown session"
+  | Some s -> Sim.Ivar.read (start_call t s msg)
+
+let input t ~lower msg =
+  match Proto.session_control lower Control.Get_peer_host with
+  | Control.R_ip peer -> (
+      Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+      match Msg.pop msg header_bytes with
+      | None -> Stats.incr t.stats "rx-runt"
+      | Some (raw, body) -> (
+          let typ, xid, proto_num = decode raw in
+          let s =
+            match
+              Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, proto_num)
+            with
+            | Some s -> Some s
+            | None -> (
+                match Hashtbl.find_opt t.enabled proto_num with
+                | Some upper ->
+                    Some (make_session t ~upper ~peer ~upper_proto:proto_num)
+                | None -> None)
+          in
+          match s with
+          | None -> Stats.incr t.stats "rx-unbound"
+          | Some s ->
+              if typ = typ_call then begin
+                (* Every arriving request executes: no duplicate
+                   filtering at this layer. *)
+                Stats.incr t.stats "executed";
+                Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+                s.serving_xid <- Some xid;
+                Proto.deliver s.upper ~lower:(Option.get s.xs) body;
+                (* If the upper protocol did not reply synchronously,
+                   the client will simply retransmit. *)
+                s.serving_xid <- None
+              end
+              else if typ = typ_reply then begin
+                match Hashtbl.find_opt s.pending xid with
+                | Some p ->
+                    Stats.incr t.stats "reply-rx";
+                    finish t s p (Ok body)
+                | None -> Stats.incr t.stats "stale-rx"
+              end
+              else Stats.incr t.stats "rx-malformed"))
+  | _ -> Stats.incr t.stats "rx-unidentified"
+
+let create ~host ~lower ?(proto_num = 95) ?(timeout = 0.025) ?(retries = 4) ()
+    =
+  let p = Proto.create ~host ~name:"REQUEST_REPLY" () in
+  let t =
+    {
+      host;
+      lower;
+      own_proto = proto_num;
+      timeout;
+      retries;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 8;
+      next_xid = 0;
+      stats = Stats.create ();
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ =
+        (fun ~upper part ->
+          let peer_part = Part.peer part in
+          let peer =
+            match Part.find_ip peer_part with
+            | Some ip -> ip
+            | None -> invalid_arg "Request_reply.open_: no peer IP"
+          in
+          let upper_proto =
+            match
+              (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+            with
+            | Some n, _ | None, Some n -> n
+            | None, None -> invalid_arg "Request_reply.open_: no proto number"
+          in
+          match
+            Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer, upper_proto)
+          with
+          | Some s -> Option.get s.xs
+          | None -> Option.get (make_session t ~upper ~peer ~upper_proto).xs);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | None -> invalid_arg "Request_reply.open_enable: no proto number"
+          | Some n ->
+              Hashtbl.replace t.enabled n upper;
+              Proto.open_enable t.lower ~upper:t.p
+                (Part.v ~local:[ Part.Ip_proto t.own_proto ] ()));
+      open_done = (fun ~upper:_ _ -> invalid_arg "Request_reply: open_done");
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          | Control.Get_max_msg_size | Control.Get_max_packet ->
+              Proto.control t.lower Control.Get_max_packet
+          | Control.Get_opt_packet -> Proto.control t.lower req
+          | req -> Stats.control t.stats req);
+    };
+  Proto.declare_below p [ lower ];
+  t

@@ -1,0 +1,51 @@
+(** REQUEST_REPLY — Sun RPC's transaction layer (section 5, "Mix and
+    Match RPCs").
+
+    Matches replies to requests with a transaction id (xid) and
+    retransmits on timeout, but — unlike CHANNEL — keeps *no* state
+    about executed requests: a retransmission that crosses a slow reply
+    causes re-execution.  These are Sun RPC's "zero or more" semantics;
+    the paper's mix-and-match point is that swapping this layer for
+    CHANNEL upgrades a Sun RPC stack to at-most-once without touching
+    anything else.
+
+    Header: type (1), xid (4), protocol number (4). *)
+
+type t
+
+val create :
+  host:Xkernel.Host.t ->
+  lower:Xkernel.Proto.t ->
+  ?proto_num:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  unit ->
+  t
+(** [proto_num] (default 95) is this layer's own number toward [lower];
+    [timeout] (default 25 ms) and [retries] (default 4) drive client
+    retransmission. *)
+
+val proto : t -> Xkernel.Proto.t
+
+val header_bytes : int
+(** 9 *)
+
+val session :
+  t -> peer:Xkernel.Addr.Ip.t -> upper_proto:int -> Xkernel.Proto.session
+(** Client session toward [peer] on behalf of the upper protocol
+    identified by [upper_proto].  Cached. *)
+
+val call :
+  t -> Xkernel.Proto.session -> Xkernel.Msg.t ->
+  (Xkernel.Msg.t, Rpc_error.t) result
+(** Blocking transaction; concurrent calls on one session are fine
+    (xids demultiplex). *)
+
+val executions : t -> int
+(** Server-side deliveries — under duplication this *exceeds* the
+    number of distinct requests, which is exactly what the tests assert
+    to distinguish zero-or-more from at-most-once. *)
+
+(** Server side: [open_enable] with [Ip_proto n]; each request is
+    delivered up, and the upper protocol must reply by pushing into the
+    session within the same fiber (before its demux returns). *)

@@ -1,0 +1,9 @@
+type t = Timeout | Rebooted | Remote of int
+
+let to_string = function
+  | Timeout -> "timeout"
+  | Rebooted -> "server rebooted"
+  | Remote s -> Printf.sprintf "remote status %d" s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b

@@ -1,0 +1,12 @@
+(** RPC failure outcomes shared by all client-facing call interfaces. *)
+
+type t =
+  | Timeout  (** retransmissions exhausted with no reply *)
+  | Rebooted
+      (** the server's boot id changed while the call was outstanding;
+          at-most-once semantics cannot say whether the procedure ran *)
+  | Remote of int  (** server-reported status (e.g. unknown command) *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,134 @@
+open Xkernel
+module S = Wire_fmt.Select
+
+type handler = Msg.t -> (Msg.t, int) result
+
+type t = {
+  host : Host.t;
+  channel : Channel.t;
+  proto_num : int;
+  p : Proto.t;
+  handlers : (int, handler) Hashtbl.t;
+  stats : Stats.t;
+}
+
+type client = {
+  c_t : t;
+  free : Proto.session Queue.t;
+  free_sem : Sim.Semaphore.sem;
+  size : int;
+}
+
+let proto t = t.p
+
+let connect t ~server =
+  let n = Channel.n_channels t.channel in
+  let free = Queue.create () in
+  for chan = 0 to n - 1 do
+    let part =
+      Part.v
+        ~local:
+          [
+            Part.Ip t.host.Host.ip;
+            Part.Ip_proto t.proto_num;
+            Part.Channel chan;
+          ]
+        ~remotes:[ [ Part.Ip server; Part.Ip_proto t.proto_num ] ]
+        ()
+    in
+    Queue.add (Proto.open_ (Channel.proto t.channel) ~upper:t.p part) free
+  done;
+  { c_t = t; free; free_sem = Sim.Semaphore.create (Host.sim t.host) n; size = n }
+
+let free_channels c = Queue.length c.free
+
+let call c ~command msg =
+  let t = c.c_t in
+  (* Choose one of the existing channels; block if none is available. *)
+  Sim.Semaphore.p c.free_sem;
+  let chan_sess = Queue.take c.free in
+  Stats.incr t.stats "call";
+  Machine.charge t.host.Host.mach
+    [ Machine.Semaphore_op; Machine.Layer_crossing; Machine.Header S.bytes ];
+  let hdr =
+    S.encode { S.typ = S.typ_request; command; status = S.status_ok }
+  in
+  let result = Channel.call t.channel chan_sess (Msg.push msg hdr) in
+  Queue.add chan_sess c.free;
+  Sim.Semaphore.v c.free_sem;
+  Machine.charge t.host.Host.mach [ Machine.Layer_crossing ];
+  match result with
+  | Error e -> Error e
+  | Ok reply -> (
+      Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+      match Msg.pop reply S.bytes with
+      | None -> Error (Rpc_error.Remote S.status_error)
+      | Some (raw, body) -> (
+          match S.decode raw with
+          | Some { S.typ; status; _ }
+            when typ = S.typ_reply && status = S.status_ok ->
+              Ok body
+          | Some { S.status; _ } -> Error (Rpc_error.Remote status)
+          | None -> Error (Rpc_error.Remote S.status_error)))
+
+let register t ~command handler = Hashtbl.replace t.handlers command handler
+
+(* Server: map the command onto a procedure, run it, reply through the
+   channel session the request arrived on. *)
+let input t ~lower msg =
+  Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+  match Msg.pop msg S.bytes with
+  | None -> Stats.incr t.stats "rx-runt"
+  | Some (raw, body) -> (
+      match S.decode raw with
+      | None -> Stats.incr t.stats "rx-malformed"
+      | Some hdr ->
+          if hdr.S.typ <> S.typ_request then Stats.incr t.stats "rx-unexpected"
+          else begin
+            Stats.incr t.stats "handled";
+            Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+            let reply_body, status =
+              match Hashtbl.find_opt t.handlers hdr.S.command with
+              | None -> (Msg.empty, S.status_no_command)
+              | Some h -> (
+                  match h body with
+                  | Ok reply -> (reply, S.status_ok)
+                  | Error s -> (Msg.empty, s))
+            in
+            Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+            let rhdr =
+              S.encode
+                { S.typ = S.typ_reply; command = hdr.S.command; status }
+            in
+            Proto.push lower (Msg.push reply_body rhdr)
+          end)
+
+let serve t =
+  Proto.open_enable (Channel.proto t.channel) ~upper:t.p
+    (Part.v ~local:[ Part.Ip_proto t.proto_num ] ())
+
+let calls_handled t = Stats.get t.stats "handled"
+
+let create ~host ~channel ?(proto_num = 90) () =
+  let p = Proto.create ~host ~name:"SELECT" () in
+  let t =
+    { host; channel; proto_num; p; handlers = Hashtbl.create 16; stats = Stats.create () }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ =
+        (fun ~upper:_ _ -> invalid_arg "Select: use connect/call");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "Select: use serve");
+      open_done = (fun ~upper:_ _ -> invalid_arg "Select: use serve");
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          (* Sprite RPC never hands the layers below more than a 16 KB
+             argument plus its own headers; it fragments for itself. *)
+          | Control.Get_max_msg_size ->
+              Proto.control (Channel.proto t.channel) req
+          | req -> Stats.control t.stats req);
+    };
+  Proto.declare_below p [ Channel.proto channel ];
+  t

@@ -1,0 +1,56 @@
+(** SELECT — procedure selection and channel allocation (section 3.2).
+
+    The top layer of layered Sprite RPC.  On the client it maps an RPC
+    invocation onto one of the fixed set of CHANNEL sessions — blocking
+    when none is free — and caches everything so the per-call cost is
+    one table lookup plus its 4-byte header (the paper's measured
+    0.11 msec, the minimum cost of any layer).  On the server it maps
+    the command (procedure id) in the header onto a registered
+    procedure.
+
+    SELECT is a separate protocol, rather than being folded into
+    CHANNEL, so that other addressing schemes can be slotted in — see
+    {!Select_fwd} for the forwarding variant the paper mentions. *)
+
+type t
+
+val create :
+  host:Xkernel.Host.t ->
+  channel:Channel.t ->
+  ?proto_num:int ->
+  unit ->
+  t
+(** [proto_num] (default 90) identifies the SELECT/CHANNEL pair to the
+    layers below. *)
+
+val proto : t -> Xkernel.Proto.t
+
+(** {1 Client} *)
+
+type client
+
+val connect : t -> server:Xkernel.Addr.Ip.t -> client
+(** Opens (and caches) one SELECT session per channel to [server] —
+    "caching open sessions at all three levels". *)
+
+val call :
+  client -> command:int -> Xkernel.Msg.t ->
+  (Xkernel.Msg.t, Rpc_error.t) result
+(** Allocate a free channel (blocking the calling fiber if all are in
+    use), run the transaction, release the channel. *)
+
+val free_channels : client -> int
+
+(** {1 Server} *)
+
+type handler = Xkernel.Msg.t -> (Xkernel.Msg.t, int) result
+(** A procedure: request body to reply body, or a non-zero status. *)
+
+val register : t -> command:int -> handler -> unit
+(** Bind a command (procedure id) to a procedure. *)
+
+val serve : t -> unit
+(** Passively enable the stack below; unknown commands are answered
+    with [status_no_command]. *)
+
+val calls_handled : t -> int

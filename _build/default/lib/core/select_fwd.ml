@@ -1,0 +1,80 @@
+open Xkernel
+module S = Wire_fmt.Select
+
+type t = {
+  host : Host.t;
+  channel : Channel.t;
+  delegate : Addr.Ip.t;
+  proto_num : int;
+  p : Proto.t;
+  sel : Select.t; (* ordinary selector used as our client toward the delegate *)
+  mutable client : Select.client option;
+  stats : Stats.t;
+}
+
+let forwarded t = Stats.get t.stats "forwarded"
+
+let client t =
+  match t.client with
+  | Some c -> c
+  | None ->
+      let c = Select.connect t.sel ~server:t.delegate in
+      t.client <- Some c;
+      c
+
+(* Relay: decode just enough of the SELECT header to re-issue the call
+   toward the delegate, then send the delegate's answer back on the
+   channel session the original request arrived on. *)
+let input t ~lower msg =
+  Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+  match Msg.pop msg S.bytes with
+  | None -> Stats.incr t.stats "rx-runt"
+  | Some (raw, body) -> (
+      match S.decode raw with
+      | Some hdr when hdr.S.typ = S.typ_request ->
+          Stats.incr t.stats "forwarded";
+          let reply_hdr status =
+            S.encode { S.typ = S.typ_reply; command = hdr.S.command; status }
+          in
+          let reply =
+            match Select.call (client t) ~command:hdr.S.command body with
+            | Ok reply_body -> Msg.push reply_body (reply_hdr S.status_ok)
+            | Error (Rpc_error.Remote status) ->
+                Msg.of_string (reply_hdr status)
+            | Error (Rpc_error.Timeout | Rpc_error.Rebooted) ->
+                Msg.of_string (reply_hdr S.status_error)
+          in
+          Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+          Proto.push lower reply
+      | Some _ -> Stats.incr t.stats "rx-unexpected"
+      | None -> Stats.incr t.stats "rx-malformed")
+
+let serve t =
+  Proto.open_enable (Channel.proto t.channel) ~upper:t.p
+    (Part.v ~local:[ Part.Ip_proto t.proto_num ] ())
+
+let create ~host ~channel ~delegate ?(proto_num = 90) () =
+  let p = Proto.create ~host ~name:"SELECT-FWD" () in
+  let sel = Select.create ~host ~channel ~proto_num () in
+  let t =
+    {
+      host;
+      channel;
+      delegate;
+      proto_num;
+      p;
+      sel;
+      client = None;
+      stats = Stats.create ();
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "Select_fwd: server only");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "Select_fwd: use serve");
+      open_done = (fun ~upper:_ _ -> invalid_arg "Select_fwd: server only");
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control = (fun req -> Stats.control t.stats req);
+    };
+  Proto.declare_below p [ Channel.proto channel ];
+  t

@@ -1,0 +1,236 @@
+open Xkernel
+module World = Netproto.World
+
+type endpoints = {
+  config_name : string;
+  call : command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+  client_host : Host.t;
+  server_host : Host.t;
+  tops : Proto.t list;
+}
+
+let cmd_null = 1
+let cmd_echo = 2
+
+let standard_handlers register =
+  register ~command:cmd_null (fun _req -> Ok Msg.empty);
+  register ~command:cmd_echo (fun req -> Ok req)
+
+type mono_lower = L_eth | L_ip | L_vip
+
+let mrpc (w : World.t) ~lower =
+  let c = World.node w 0 and s = World.node w 1 in
+  let proto_num = 91 in
+  let lower_name, lower_of =
+    match lower with
+    | L_eth -> ("ETH", fun (n : World.node) -> Netproto.Eth.proto n.eth)
+    | L_ip -> ("IP", fun (n : World.node) -> Netproto.Ip.proto n.ip)
+    | L_vip -> ("VIP", fun (n : World.node) -> Netproto.Vip.proto n.vip)
+  in
+  let m_c = Sprite_mono.create ~host:c.host ~lower:(lower_of c) ~proto_num () in
+  let m_s = Sprite_mono.create ~host:s.host ~lower:(lower_of s) ~proto_num () in
+  standard_handlers (Sprite_mono.register m_s);
+  let eth_type = Addr.eth_type_of_ip_proto proto_num in
+  (match lower with
+  | L_eth -> Sprite_mono.serve m_s ~enable:[ Part.Eth_type eth_type ] ()
+  | L_ip | L_vip -> Sprite_mono.serve m_s ());
+  let client = ref None in
+  let connect () =
+    match !client with
+    | Some cl -> cl
+    | None ->
+        (* Over raw ethernet, RPC itself must name the peer with an
+           ethernet address; resolve it once, up front, with ARP. *)
+        let cl =
+          match lower with
+          | L_eth ->
+              let peer_eth =
+                match Netproto.Arp.resolve c.arp s.host.Host.ip with
+                | Some e -> e
+                | None -> failwith "mrpc-eth: cannot resolve server"
+              in
+              Sprite_mono.connect m_c ~server:s.host.Host.ip
+                ~remote:[ Part.Eth peer_eth; Part.Eth_type eth_type ]
+                ()
+          | L_ip | L_vip -> Sprite_mono.connect m_c ~server:s.host.Host.ip ()
+        in
+        client := Some cl;
+        cl
+  in
+  {
+    config_name = "M.RPC-" ^ lower_name;
+    call = (fun ~command msg -> Sprite_mono.call (connect ()) ~command msg);
+    client_host = c.host;
+    server_host = s.host;
+    tops = [ Sprite_mono.proto m_c ];
+  }
+
+(* SELECT-CHANNEL-FRAGMENT-VIP on one node. *)
+let lrpc_node (n : World.node) =
+  let frag =
+    Fragment.create ~host:n.host ~lower:(Netproto.Vip.proto n.vip) ()
+  in
+  let chan = Channel.create ~host:n.host ~lower:(Fragment.proto frag) () in
+  let sel = Select.create ~host:n.host ~channel:chan () in
+  (frag, chan, sel)
+
+let lrpc (w : World.t) =
+  let c = World.node w 0 and s = World.node w 1 in
+  let _, _, sel_c = lrpc_node c in
+  let _, _, sel_s = lrpc_node s in
+  standard_handlers (Select.register sel_s);
+  Select.serve sel_s;
+  let client = ref None in
+  let connect () =
+    match !client with
+    | Some cl -> cl
+    | None ->
+        let cl = Select.connect sel_c ~server:s.host.Host.ip in
+        client := Some cl;
+        cl
+  in
+  {
+    config_name = "L.RPC-VIP";
+    call = (fun ~command msg -> Select.call (connect ()) ~command msg);
+    client_host = c.host;
+    server_host = s.host;
+    tops = [ Select.proto sel_c ];
+  }
+
+(* SELECT-CHANNEL-VIPsize, with FRAGMENT moved below VIPsize and
+   VIPaddr below both (Figure 3(b)). *)
+let lrpc_vip_size_node (n : World.node) =
+  let vaddr = Netproto.Vip_addr.proto n.vip_addr in
+  let frag = Fragment.create ~host:n.host ~lower:vaddr () in
+  let vsize =
+    Netproto.Vip_size.create ~host:n.host ~bulk:(Fragment.proto frag)
+      ~direct:vaddr ~arp:n.arp
+  in
+  let chan =
+    Channel.create ~host:n.host ~lower:(Netproto.Vip_size.proto vsize) ()
+  in
+  let sel = Select.create ~host:n.host ~channel:chan () in
+  (frag, vsize, chan, sel)
+
+let lrpc_vip_size (w : World.t) =
+  let c = World.node w 0 and s = World.node w 1 in
+  let _, _, _, sel_c = lrpc_vip_size_node c in
+  let _, _, _, sel_s = lrpc_vip_size_node s in
+  standard_handlers (Select.register sel_s);
+  Select.serve sel_s;
+  let client = ref None in
+  let connect () =
+    match !client with
+    | Some cl -> cl
+    | None ->
+        let cl = Select.connect sel_c ~server:s.host.Host.ip in
+        client := Some cl;
+        cl
+  in
+  {
+    config_name = "SELECT-CHANNEL-VIPsize";
+    call = (fun ~command msg -> Select.call (connect ()) ~command msg);
+    client_host = c.host;
+    server_host = s.host;
+    tops = [ Select.proto sel_c ];
+  }
+
+(* A trivial upper protocol that replies to every CHANNEL request with
+   its own body — the measurement harness for Table III row 3. *)
+let channel_echo ~host ~channel:chan =
+  let p = Proto.create ~host ~name:"CHAN-ECHO" () in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "chan-echo");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "chan-echo");
+      open_done = (fun ~upper:_ _ -> invalid_arg "chan-echo");
+      demux =
+        (fun ~lower msg ->
+          Machine.charge host.Host.mach [ Machine.Layer_crossing ];
+          Proto.push lower msg);
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  Proto.declare_below p [ Channel.proto chan ];
+  p
+
+let channel_fragment_vip (w : World.t) =
+  let c = World.node w 0 and s = World.node w 1 in
+  let _, chan_c, _ = lrpc_node c in
+  let _, chan_s, _ = lrpc_node s in
+  let proto_num = 90 in
+  let echo = channel_echo ~host:s.host ~channel:chan_s in
+  Proto.open_enable (Channel.proto chan_s) ~upper:echo
+    (Part.v ~local:[ Part.Ip_proto proto_num ] ());
+  let sess = ref None in
+  let session () =
+    match !sess with
+    | Some x -> x
+    | None ->
+        let part =
+          Part.v
+            ~local:
+              [
+                Part.Ip c.host.Host.ip; Part.Ip_proto proto_num; Part.Channel 0;
+              ]
+            ~remotes:[ [ Part.Ip s.host.Host.ip; Part.Ip_proto proto_num ] ]
+            ()
+        in
+        let upper = channel_echo ~host:c.host ~channel:chan_c in
+        let x = Proto.open_ (Channel.proto chan_c) ~upper part in
+        sess := Some x;
+        x
+  in
+  {
+    config_name = "CHANNEL-FRAGMENT-VIP";
+    call = (fun ~command:_ msg -> Channel.call chan_c (session ()) msg);
+    client_host = c.host;
+    server_host = s.host;
+    tops = [ Channel.proto chan_c ];
+  }
+
+let fragment_probe (w : World.t) =
+  let c = World.node w 0 and s = World.node w 1 in
+  let frag_c =
+    Fragment.create ~host:c.host ~lower:(Netproto.Vip.proto c.vip) ()
+  in
+  let frag_s =
+    Fragment.create ~host:s.host ~lower:(Netproto.Vip.proto s.vip) ()
+  in
+  let pc =
+    Netproto.Probe.create ~host:c.host ~lower:(Fragment.proto frag_c) ()
+  in
+  let ps =
+    Netproto.Probe.create ~host:s.host ~lower:(Fragment.proto frag_s) ()
+  in
+  Netproto.Probe.serve ps;
+  (pc, ps)
+
+let vip_probe (w : World.t) =
+  let c = World.node w 0 and s = World.node w 1 in
+  let pc =
+    Netproto.Probe.create ~host:c.host ~lower:(Netproto.Vip.proto c.vip) ()
+  in
+  let ps =
+    Netproto.Probe.create ~host:s.host ~lower:(Netproto.Vip.proto s.vip) ()
+  in
+  Netproto.Probe.serve ps;
+  (pc, ps)
+
+let udp_probe (w : World.t) ~user_level =
+  let c = World.node w 0 and s = World.node w 1 in
+  let udp_c =
+    Netproto.Udp.create ~host:c.host ~lower:(Netproto.Ip.proto c.ip) ()
+  in
+  let udp_s =
+    Netproto.Udp.create ~host:s.host ~lower:(Netproto.Ip.proto s.ip) ()
+  in
+  let pc =
+    Netproto.Probe.create ~host:c.host ~lower:(Netproto.Udp.proto udp_c)
+      ~port:7 ~user_level ()
+  in
+  let ps =
+    Netproto.Probe.create ~host:s.host ~lower:(Netproto.Udp.proto udp_s)
+      ~port:7 ~user_level ()
+  in
+  Netproto.Probe.serve ps;
+  (pc, ps)

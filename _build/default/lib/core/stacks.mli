@@ -1,0 +1,57 @@
+(** Named protocol configurations — every stack the paper measures.
+
+    Each builder wires a complete configuration onto an existing
+    {!Netproto.World.t} test bed (node 0 = client, node 1 = server),
+    registers the standard test procedures on the server, and returns a
+    uniform {!endpoints} handle the measurement harness drives.
+
+    Standard procedures: command 1 is the null procedure (null reply —
+    the latency and throughput tests of section 4); command 2 echoes its
+    argument. *)
+
+type endpoints = {
+  config_name : string;
+  call :
+    command:int -> Xkernel.Msg.t -> (Xkernel.Msg.t, Rpc_error.t) result;
+      (** run one RPC from node 0; must be called inside a fiber *)
+  client_host : Xkernel.Host.t;
+  server_host : Xkernel.Host.t;
+  tops : Xkernel.Proto.t list;  (** for {!Xkernel.Proto.pp_graph} *)
+}
+
+val cmd_null : int
+val cmd_echo : int
+
+type mono_lower = L_eth | L_ip | L_vip
+
+val mrpc : Netproto.World.t -> lower:mono_lower -> endpoints
+(** Monolithic Sprite RPC over ETH, IP or VIP — Table I's M.RPC rows
+    and Table II's M.RPC-VIP row. *)
+
+val lrpc : Netproto.World.t -> endpoints
+(** SELECT-CHANNEL-FRAGMENT-VIP (Figure 3(a)) — L.RPC-VIP in Tables II
+    and III. *)
+
+val lrpc_vip_size : Netproto.World.t -> endpoints
+(** SELECT-CHANNEL-VIPsize with FRAGMENT below VIPsize and VIPaddr at
+    the bottom (Figure 3(b)) — the section 4.3 configuration that
+    dynamically removes FRAGMENT from the small-message path. *)
+
+val channel_fragment_vip : Netproto.World.t -> endpoints
+(** CHANNEL-FRAGMENT-VIP with a trivial echo above CHANNEL — Table III
+    row 3.  [call]'s [command] is ignored. *)
+
+val fragment_probe :
+  Netproto.World.t -> Netproto.Probe.t * Netproto.Probe.t
+(** FRAGMENT-VIP under the Probe echo harness — Table III row 2 and the
+    FRAGMENT-alone throughput note of section 4.2.  Returns (client
+    probe on node 0, serving probe on node 1). *)
+
+val vip_probe : Netproto.World.t -> Netproto.Probe.t * Netproto.Probe.t
+(** Bare VIP under Probe — Table III row 1. *)
+
+val udp_probe :
+  Netproto.World.t -> user_level:bool ->
+  Netproto.Probe.t * Netproto.Probe.t
+(** UDP-IP-ETH under Probe — the intro's UDP round-trip comparison
+    (user-to-user when [user_level]). *)

@@ -1,0 +1,194 @@
+open Xkernel
+
+module Flags = struct
+  let request = 0x1
+  let reply = 0x2
+  let ack = 0x4
+  let please_ack = 0x8
+end
+
+let decode_with bytes f s =
+  if String.length s < bytes then None
+  else
+    let r = Codec.R.of_string s in
+    match f r with v -> Some v | exception Codec.R.Truncated -> None
+
+module Sprite = struct
+  type t = {
+    flags : int;
+    clnt_host : Addr.Ip.t;
+    srvr_host : Addr.Ip.t;
+    channel : int;
+    srvr_process : int;
+    sequence_num : int;
+    num_frags : int;
+    frag_mask : int;
+    command : int;
+    boot_id : int;
+    data1_sz : int;
+    data2_sz : int;
+    data1_off : int;
+    data2_off : int;
+  }
+
+  let bytes = 36
+
+  let encode t =
+    let w = Codec.W.create ~size:bytes () in
+    Codec.W.u16 w t.flags;
+    Codec.W.u32 w (Addr.Ip.to_int t.clnt_host);
+    Codec.W.u32 w (Addr.Ip.to_int t.srvr_host);
+    Codec.W.u16 w t.channel;
+    Codec.W.u16 w t.srvr_process;
+    Codec.W.u32 w t.sequence_num;
+    Codec.W.u16 w t.num_frags;
+    Codec.W.u16 w t.frag_mask;
+    Codec.W.u16 w t.command;
+    Codec.W.u32 w t.boot_id;
+    Codec.W.u16 w t.data1_sz;
+    Codec.W.u16 w t.data2_sz;
+    Codec.W.u16 w t.data1_off;
+    Codec.W.u16 w t.data2_off;
+    Codec.W.contents w
+
+  let decode =
+    decode_with bytes (fun r ->
+        let flags = Codec.R.u16 r in
+        let clnt_host = Addr.Ip.of_int32_bits (Codec.R.u32 r) in
+        let srvr_host = Addr.Ip.of_int32_bits (Codec.R.u32 r) in
+        let channel = Codec.R.u16 r in
+        let srvr_process = Codec.R.u16 r in
+        let sequence_num = Codec.R.u32 r in
+        let num_frags = Codec.R.u16 r in
+        let frag_mask = Codec.R.u16 r in
+        let command = Codec.R.u16 r in
+        let boot_id = Codec.R.u32 r in
+        let data1_sz = Codec.R.u16 r in
+        let data2_sz = Codec.R.u16 r in
+        let data1_off = Codec.R.u16 r in
+        let data2_off = Codec.R.u16 r in
+        {
+          flags;
+          clnt_host;
+          srvr_host;
+          channel;
+          srvr_process;
+          sequence_num;
+          num_frags;
+          frag_mask;
+          command;
+          boot_id;
+          data1_sz;
+          data2_sz;
+          data1_off;
+          data2_off;
+        })
+end
+
+module Select = struct
+  type t = { typ : int; command : int; status : int }
+
+  let bytes = 4
+  let typ_request = 1
+  let typ_reply = 2
+  let status_ok = 0
+  let status_no_command = 1
+  let status_error = 2
+
+  let encode t =
+    let w = Codec.W.create ~size:bytes () in
+    Codec.W.u8 w t.typ;
+    Codec.W.u16 w t.command;
+    Codec.W.u8 w t.status;
+    Codec.W.contents w
+
+  let decode =
+    decode_with bytes (fun r ->
+        let typ = Codec.R.u8 r in
+        let command = Codec.R.u16 r in
+        let status = Codec.R.u8 r in
+        { typ; command; status })
+end
+
+module Channel = struct
+  type t = {
+    flags : int;
+    channel : int;
+    protocol_num : int;
+    sequence_num : int;
+    error : int;
+    boot_id : int;
+  }
+
+  let bytes = 18
+
+  let encode t =
+    let w = Codec.W.create ~size:bytes () in
+    Codec.W.u16 w t.flags;
+    Codec.W.u16 w t.channel;
+    Codec.W.u32 w t.protocol_num;
+    Codec.W.u32 w t.sequence_num;
+    Codec.W.u16 w t.error;
+    Codec.W.u32 w t.boot_id;
+    Codec.W.contents w
+
+  let decode =
+    decode_with bytes (fun r ->
+        let flags = Codec.R.u16 r in
+        let channel = Codec.R.u16 r in
+        let protocol_num = Codec.R.u32 r in
+        let sequence_num = Codec.R.u32 r in
+        let error = Codec.R.u16 r in
+        let boot_id = Codec.R.u32 r in
+        { flags; channel; protocol_num; sequence_num; error; boot_id })
+end
+
+module Fragment = struct
+  type t = {
+    typ : int;
+    clnt_host : Addr.Ip.t;
+    srvr_host : Addr.Ip.t;
+    protocol_num : int;
+    sequence_num : int;
+    num_frags : int;
+    frag_mask : int;
+    len : int;
+  }
+
+  let bytes = 23
+  let typ_data = 1
+  let typ_nack = 2
+
+  let encode t =
+    let w = Codec.W.create ~size:bytes () in
+    Codec.W.u8 w t.typ;
+    Codec.W.u32 w (Addr.Ip.to_int t.clnt_host);
+    Codec.W.u32 w (Addr.Ip.to_int t.srvr_host);
+    Codec.W.u32 w t.protocol_num;
+    Codec.W.u32 w t.sequence_num;
+    Codec.W.u16 w t.num_frags;
+    Codec.W.u16 w t.frag_mask;
+    Codec.W.u16 w t.len;
+    Codec.W.contents w
+
+  let decode =
+    decode_with bytes (fun r ->
+        let typ = Codec.R.u8 r in
+        let clnt_host = Addr.Ip.of_int32_bits (Codec.R.u32 r) in
+        let srvr_host = Addr.Ip.of_int32_bits (Codec.R.u32 r) in
+        let protocol_num = Codec.R.u32 r in
+        let sequence_num = Codec.R.u32 r in
+        let num_frags = Codec.R.u16 r in
+        let frag_mask = Codec.R.u16 r in
+        let len = Codec.R.u16 r in
+        {
+          typ;
+          clnt_host;
+          srvr_host;
+          protocol_num;
+          sequence_num;
+          num_frags;
+          frag_mask;
+          len;
+        })
+end

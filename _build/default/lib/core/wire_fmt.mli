@@ -1,0 +1,108 @@
+(** Header formats from the paper's appendix.
+
+    Binary codecs for the four C structures: SPRITE_HDR (monolithic
+    RPC), SELECT_HDR, CHANNEL_HDR and FRAGMENT_HDR.  As the paper notes,
+    the union of the three layered headers is nearly identical to the
+    monolithic header, with sequence numbers and protocol-number fields
+    duplicated because FRAGMENT and CHANNEL are each meant to be used by
+    multiple high-level protocols.
+
+    Decoders return [None] on truncated or malformed input. *)
+
+(** Flag bits shared by SPRITE_HDR and CHANNEL_HDR. *)
+module Flags : sig
+  val request : int
+
+  val reply : int
+
+  (** explicit acknowledgement *)
+  val ack : int
+
+  (** set on retransmissions *)
+  val please_ack : int
+end
+
+module Sprite : sig
+  type t = {
+    flags : int;
+    clnt_host : Xkernel.Addr.Ip.t;
+    srvr_host : Xkernel.Addr.Ip.t;
+    channel : int;
+    srvr_process : int;
+    sequence_num : int;
+    num_frags : int;
+    frag_mask : int;
+    command : int;
+    boot_id : int;
+    data1_sz : int;
+    data2_sz : int;
+    data1_off : int;
+    data2_off : int;
+        (** The dual size/offset fields exist only in the monolithic
+            header; "layered RPC does not make use of [them]" because
+            x-kernel messages compose without scatter/gather offsets. *)
+  }
+
+  val bytes : int
+  (** 36 *)
+
+  val encode : t -> string
+  val decode : string -> t option
+end
+
+module Select : sig
+  type t = { typ : int; command : int; status : int }
+
+  val bytes : int
+  (** 4 *)
+
+  val typ_request : int
+  val typ_reply : int
+
+  val status_ok : int
+  val status_no_command : int
+  val status_error : int
+
+  val encode : t -> string
+  val decode : string -> t option
+end
+
+module Channel : sig
+  type t = {
+    flags : int;
+    channel : int;
+    protocol_num : int;
+    sequence_num : int;
+    error : int;
+    boot_id : int;
+  }
+
+  val bytes : int
+  (** 18 *)
+
+  val encode : t -> string
+  val decode : string -> t option
+end
+
+module Fragment : sig
+  type t = {
+    typ : int;
+    clnt_host : Xkernel.Addr.Ip.t;  (** sending host *)
+    srvr_host : Xkernel.Addr.Ip.t;  (** receiving host *)
+    protocol_num : int;
+    sequence_num : int;
+    num_frags : int;
+    frag_mask : int;
+    len : int;  (** payload bytes in this fragment *)
+  }
+
+  val bytes : int
+  (** 23 *)
+
+  val typ_data : int
+  val typ_nack : int
+  (** request for the missing fragments named in [frag_mask] *)
+
+  val encode : t -> string
+  val decode : string -> t option
+end

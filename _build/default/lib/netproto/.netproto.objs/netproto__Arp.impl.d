@@ -1,0 +1,1 @@
+lib/netproto/arp.ml: Addr Codec Control Eth Hashtbl Host List Machine Msg Part Proto Sim Stats Xkernel

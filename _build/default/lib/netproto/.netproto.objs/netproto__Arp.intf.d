@@ -1,0 +1,1 @@
+lib/netproto/arp.mli: Eth Xkernel

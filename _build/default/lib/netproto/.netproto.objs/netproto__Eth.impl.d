@@ -1,0 +1,1 @@
+lib/netproto/eth.ml: Addr Codec Control Hashtbl Host Machine Msg Netdev Option Part Printf Proto Stats Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/eth.mli: Xkernel

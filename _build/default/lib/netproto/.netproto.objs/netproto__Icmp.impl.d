@@ -1,0 +1,1 @@
+lib/netproto/icmp.ml: Addr Bytes Codec Control Hashtbl Host Ip Machine Msg Part Proto Sim Stats Xkernel

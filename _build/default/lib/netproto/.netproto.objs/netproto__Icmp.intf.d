@@ -1,0 +1,1 @@
+lib/netproto/icmp.mli: Ip Xkernel

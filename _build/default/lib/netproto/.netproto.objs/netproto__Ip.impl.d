@@ -1,0 +1,1 @@
+lib/netproto/ip.ml: Addr Arp Bytes Codec Control Eth Event Hashtbl Host Int List Machine Msg Option Part Printf Proto Stats Xkernel

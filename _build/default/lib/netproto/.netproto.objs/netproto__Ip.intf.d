@@ -1,0 +1,1 @@
+lib/netproto/ip.mli: Arp Eth Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/lower_id.ml: Addr Arp Control Proto Xkernel

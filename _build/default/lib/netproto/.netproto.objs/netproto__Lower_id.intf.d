@@ -1,0 +1,1 @@
+lib/netproto/lower_id.mli: Arp Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/probe.ml: Addr Codec Control Hashtbl Host Machine Msg Part Proto Sim Stats Xkernel

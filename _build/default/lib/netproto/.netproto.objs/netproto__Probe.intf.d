@@ -1,0 +1,1 @@
+lib/netproto/probe.mli: Xkernel

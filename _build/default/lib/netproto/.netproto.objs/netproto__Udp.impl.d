@@ -1,0 +1,1 @@
+lib/netproto/udp.ml: Addr Codec Control Hashtbl Host Machine Msg Option Part Printf Proto Stats Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/udp.mli: Xkernel

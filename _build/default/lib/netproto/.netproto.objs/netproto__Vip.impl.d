@@ -1,0 +1,1 @@
+lib/netproto/vip.ml: Addr Arp Control Eth Hashtbl Host Ip Lower_id Msg Option Part Printf Proto Stats Vip_adv Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/vip.mli: Arp Eth Ip Vip_adv Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/vip_addr.ml: Addr Arp Control Eth Host Ip Part Proto Stats Xkernel

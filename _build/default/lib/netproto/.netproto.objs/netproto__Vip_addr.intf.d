@@ -1,0 +1,1 @@
+lib/netproto/vip_addr.mli: Arp Eth Ip Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/vip_adv.ml: Addr Codec Eth Hashtbl Host Machine Msg Part Proto Sim Stats Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/vip_adv.mli: Eth Xkernel

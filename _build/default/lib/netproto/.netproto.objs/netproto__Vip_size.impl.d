@@ -1,0 +1,1 @@
+lib/netproto/vip_size.ml: Addr Arp Control Hashtbl Host Lower_id Msg Option Part Printf Proto Stats Xkernel

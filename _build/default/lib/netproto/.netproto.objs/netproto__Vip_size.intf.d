@@ -1,0 +1,1 @@
+lib/netproto/vip_size.mli: Arp Xkernel

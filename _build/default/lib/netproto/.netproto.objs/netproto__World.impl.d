@@ -1,0 +1,1 @@
+lib/netproto/world.ml: Addr Arp Array Eth Host Ip Machine Netdev Printf Sim Vip Vip_addr Wire Xkernel

@@ -1,0 +1,1 @@
+lib/netproto/world.mli: Arp Eth Ip Vip Vip_addr Xkernel

@@ -1,0 +1,137 @@
+open Xkernel
+
+let mtu = 1500
+let header_bytes = Netdev.eth_header_bytes (* 14 *)
+
+type t = {
+  host : Host.t;
+  dev : Netdev.t;
+  p : Proto.t;
+  (* Active and passively-created sessions, keyed (peer, type). *)
+  sessions : (int * int, Proto.session) Hashtbl.t;
+  (* open_enable registrations: type -> upper protocol. *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+
+let encode_header ~dst ~src ~typ =
+  let w = Codec.W.create ~size:header_bytes () in
+  Codec.W.u48 w (Addr.Eth.to_int dst);
+  Codec.W.u48 w (Addr.Eth.to_int src);
+  Codec.W.u16 w typ;
+  Codec.W.contents w
+
+let decode_header hdr =
+  let r = Codec.R.of_string hdr in
+  let dst = Addr.Eth.v (Codec.R.u48 r) in
+  let src = Addr.Eth.v (Codec.R.u48 r) in
+  let typ = Codec.R.u16 r in
+  (dst, src, typ)
+
+let session_key ~peer ~typ = (Addr.Eth.to_int peer, typ)
+
+let common_control t = function
+  | Control.Get_mtu | Control.Get_max_packet | Control.Get_opt_packet ->
+      Control.R_int mtu
+  | Control.Get_my_eth -> Control.R_eth t.host.Host.eth
+  | req -> Stats.control t.stats req
+
+let make_session t ~upper ~peer ~typ =
+  let cell = ref None in
+  let self () = Option.get !cell in
+  let push msg =
+    Stats.incr t.stats "tx";
+    Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+    let hdr = encode_header ~dst:peer ~src:t.host.Host.eth ~typ in
+    Netdev.transmit t.dev (Msg.push msg hdr)
+  in
+  let pop msg = Proto.deliver upper ~lower:(self ()) msg in
+  let s_control = function
+    | Control.Get_peer_eth -> Control.R_eth peer
+    | Control.Get_peer_proto -> Control.R_int typ
+    | req -> common_control t req
+  in
+  let close () = Hashtbl.remove t.sessions (session_key ~peer ~typ) in
+  let xs =
+    Proto.make_session t.p
+      ~name:(Printf.sprintf "eth(%s,0x%04x)" (Addr.Eth.to_string peer) typ)
+      { push; pop; s_control; close }
+  in
+  cell := Some xs;
+  Hashtbl.replace t.sessions (session_key ~peer ~typ) xs;
+  xs
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer =
+    match Part.find_eth peer_part with
+    | Some e -> e
+    | None -> invalid_arg "Eth.open_: peer has no ethernet address"
+  in
+  let typ =
+    match
+      (Part.find_eth_type peer_part, Part.find_eth_type part.Part.local)
+    with
+    | Some ty, _ | None, Some ty -> ty
+    | None, None -> invalid_arg "Eth.open_: no ethernet type"
+  in
+  match Hashtbl.find_opt t.sessions (session_key ~peer ~typ) with
+  | Some xs -> xs
+  | None -> make_session t ~upper ~peer ~typ
+
+(* Shared receive path; the layer crossing itself is charged by the
+   caller (device handler or Proto.deliver). *)
+let input t msg =
+  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  match Msg.pop msg header_bytes with
+  | None -> Stats.incr t.stats "rx-runt"
+  | Some (hdr, rest) -> (
+      let dst, src, typ = decode_header hdr in
+      let for_me =
+        Addr.Eth.equal dst t.host.Host.eth || Addr.Eth.is_broadcast dst
+      in
+      if not for_me then Stats.incr t.stats "rx-other"
+      else begin
+        Stats.incr t.stats "rx";
+        match Hashtbl.find_opt t.sessions (session_key ~peer:src ~typ) with
+        | Some xs -> Proto.pop xs rest
+        | None -> (
+            match Hashtbl.find_opt t.enabled typ with
+            | Some upper ->
+                let xs = make_session t ~upper ~peer:src ~typ in
+                Proto.pop xs rest
+            | None -> Stats.incr t.stats "rx-unbound")
+      end)
+
+let create ~host ~dev =
+  let p = Proto.create ~host ~name:"ETH" () in
+  let t =
+    {
+      host;
+      dev;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 16;
+      stats = Stats.create ();
+    }
+  in
+  let ops =
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_eth_type part.Part.local with
+          | Some typ -> Hashtbl.replace t.enabled typ upper
+          | None -> invalid_arg "Eth.open_enable: no ethernet type");
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower:_ msg -> input t msg);
+      p_control = (fun req -> common_control t req);
+    }
+  in
+  Proto.set_ops p ops;
+  Netdev.set_handler dev (fun frame ->
+      Machine.charge host.Host.mach [ Machine.Layer_crossing ];
+      input t frame);
+  t

@@ -1,0 +1,168 @@
+open Xkernel
+
+let ip_proto_icmp = 1
+let header_bytes = 8
+let typ_echo_reply = 0
+let typ_unreachable = 3
+let typ_time_exceeded = 11
+let typ_echo_request = 8
+let code_proto_unreachable = 2
+let code_host_unreachable = 1
+
+type event =
+  | Echo_reply of { from : Addr.Ip.t; seq : int }
+  | Time_exceeded of { from : Addr.Ip.t }
+  | Unreachable of { from : Addr.Ip.t; code : int }
+
+type t = {
+  host : Host.t;
+  ip : Ip.t;
+  p : Proto.t;
+  ident : int;
+  mutable next_seq : int;
+  pending : (int, unit Sim.Ivar.ivar) Hashtbl.t; (* outstanding echo seqs *)
+  mutable observer : (event -> unit) option;
+  sessions : (int, Proto.session) Hashtbl.t; (* peer *)
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let stat t name = Stats.get t.stats name
+let on_event t f = t.observer <- Some f
+
+let emit t ev = match t.observer with Some f -> f ev | None -> ()
+
+(* Checksum covers the whole ICMP message with the checksum field
+   zeroed, exactly like the IP header checksum. *)
+let encode ~typ ~code ~ident ~seq payload =
+  let w = Codec.W.create () in
+  Codec.W.u8 w typ;
+  Codec.W.u8 w code;
+  Codec.W.u16 w 0;
+  Codec.W.u16 w ident;
+  Codec.W.u16 w seq;
+  Codec.W.bytes w (Msg.to_string payload);
+  let raw = Codec.W.contents w in
+  let ck = Codec.ip_checksum raw in
+  let b = Bytes.of_string raw in
+  Bytes.set_uint8 b 2 (ck lsr 8);
+  Bytes.set_uint8 b 3 (ck land 0xff);
+  Msg.of_string (Bytes.to_string b)
+
+let session_to t peer =
+  match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer) with
+  | Some s -> s
+  | None ->
+      let s =
+        Proto.open_ (Ip.proto t.ip) ~upper:t.p
+          (Part.v
+             ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto ip_proto_icmp ]
+             ~remotes:[ [ Part.Ip peer; Part.Ip_proto ip_proto_icmp ] ]
+             ())
+      in
+      Hashtbl.replace t.sessions (Addr.Ip.to_int peer) s;
+      s
+
+let transmit t ~peer ~typ ~code ~ident ~seq payload =
+  Machine.charge t.host.Host.mach
+    [
+      Machine.Header header_bytes;
+      Machine.Checksum (header_bytes + Msg.length payload);
+    ];
+  Proto.push (session_to t peer) (encode ~typ ~code ~ident ~seq payload)
+
+let ping t ~peer ?(payload = 56) ?(timeout = 1.0) () =
+  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  let iv = Sim.Ivar.create (Host.sim t.host) in
+  Hashtbl.replace t.pending seq iv;
+  Stats.incr t.stats "echo-tx";
+  let t0 = Sim.now (Host.sim t.host) in
+  transmit t ~peer ~typ:typ_echo_request ~code:0 ~ident:t.ident ~seq
+    (Msg.fill payload 'i');
+  let result = Sim.Ivar.read_timeout iv timeout in
+  Hashtbl.remove t.pending seq;
+  match result with
+  | Some () -> Some (Sim.now (Host.sim t.host) -. t0)
+  | None -> None
+
+let input t ~lower msg =
+  Machine.charge t.host.Host.mach
+    [ Machine.Header header_bytes; Machine.Checksum (Msg.length msg) ];
+  if Codec.ones_complement_sum (Msg.to_string msg) <> 0xffff then
+    Stats.incr t.stats "rx-bad-checksum"
+  else
+    match Msg.pop msg header_bytes with
+    | None -> Stats.incr t.stats "rx-runt"
+    | Some (raw, rest) -> (
+        let r = Codec.R.of_string raw in
+        let typ = Codec.R.u8 r in
+        let code = Codec.R.u8 r in
+        let _ck = Codec.R.u16 r in
+        let ident = Codec.R.u16 r in
+        let seq = Codec.R.u16 r in
+        let from =
+          match Proto.session_control lower Control.Get_peer_host with
+          | Control.R_ip ip -> ip
+          | _ -> Addr.Ip.any
+        in
+        if typ = typ_echo_request then begin
+          Stats.incr t.stats "echo-rx";
+          transmit t ~peer:from ~typ:typ_echo_reply ~code:0 ~ident ~seq rest
+        end
+        else if typ = typ_echo_reply then begin
+          Stats.incr t.stats "reply-rx";
+          emit t (Echo_reply { from; seq });
+          if ident = t.ident then
+            match Hashtbl.find_opt t.pending seq with
+            | Some iv when not (Sim.Ivar.is_filled iv) -> Sim.Ivar.fill iv ()
+            | _ -> Stats.incr t.stats "rx-stale"
+        end
+        else if typ = typ_time_exceeded then begin
+          Stats.incr t.stats "time-exceeded-rx";
+          emit t (Time_exceeded { from })
+        end
+        else if typ = typ_unreachable then begin
+          Stats.incr t.stats "unreachable-rx";
+          emit t (Unreachable { from; code })
+        end
+        else Stats.incr t.stats "rx-unknown-type")
+
+let create ~host ~ip =
+  let p = Proto.create ~host ~name:"ICMP" () in
+  let t =
+    {
+      host;
+      ip;
+      p;
+      ident = Addr.Ip.to_int host.Host.ip land 0xffff;
+      next_seq = 0;
+      pending = Hashtbl.create 8;
+      observer = None;
+      sessions = Hashtbl.create 8;
+      stats = Stats.create ();
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "Icmp: use ping");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "Icmp: use on_event");
+      open_done = (fun ~upper:_ _ -> invalid_arg "Icmp: use ping");
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control = (fun req -> Stats.control t.stats req);
+    };
+  Proto.open_enable (Ip.proto ip) ~upper:p
+    (Part.v ~local:[ Part.Ip_proto ip_proto_icmp ] ());
+  (* Turn IP's delivery failures into error messages to the source. *)
+  Ip.set_error_hook ip (fun ~src err quote ->
+      match err with
+      | Ip.Ttl_exceeded ->
+          Stats.incr t.stats "time-exceeded-tx";
+          transmit t ~peer:src ~typ:typ_time_exceeded ~code:0 ~ident:0 ~seq:0
+            quote
+      | Ip.Proto_unreachable ->
+          Stats.incr t.stats "unreachable-tx";
+          transmit t ~peer:src ~typ:typ_unreachable
+            ~code:code_proto_unreachable ~ident:0 ~seq:0 quote);
+  Proto.declare_below p [ Ip.proto ip ];
+  t

@@ -1,0 +1,442 @@
+open Xkernel
+
+let header_bytes = 20
+let max_packet = 65535 - header_bytes
+let reasm_timeout = 1.0
+let flag_mf = 0x2000
+
+type iface = { if_ip : Addr.Ip.t; if_eth : Eth.t; if_arp : Arp.t }
+
+(* Why a datagram could not be delivered; reported to the error hook
+   (ICMP) together with the offending header + 8 payload bytes. *)
+type delivery_error = Ttl_exceeded | Proto_unreachable
+
+type header = {
+  totlen : int;
+  ident : int;
+  mf : bool;
+  frag_off : int; (* bytes *)
+  ttl : int;
+  proto_num : int;
+  src : Addr.Ip.t;
+  dst : Addr.Ip.t;
+}
+
+type reasm = {
+  mutable pieces : (int * Msg.t) list; (* (offset, data) *)
+  mutable total : int option; (* known once the last fragment arrives *)
+  mutable timer : Event.t option;
+}
+
+type t = {
+  host : Host.t;
+  ifaces : iface list;
+  gateway : Addr.Ip.t option;
+  forward : bool;
+  mutable ttl_default : int;
+  p : Proto.t;
+  sessions : (int * int, Proto.session) Hashtbl.t; (* (peer, proto) *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  eth_cache : (Addr.Ip.t, Proto.session) Hashtbl.t; (* next hop -> eth sess *)
+  reassembly : (int * int, reasm) Hashtbl.t; (* (src, ident) *)
+  mutable next_ident : int;
+  mutable error_hook :
+    (src:Addr.Ip.t -> delivery_error -> Msg.t -> unit) option;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let set_error_hook t f = t.error_hook <- Some f
+
+
+let encode_header h =
+  let w = Codec.W.create ~size:header_bytes () in
+  Codec.W.u8 w 0x45;
+  Codec.W.u8 w 0;
+  Codec.W.u16 w h.totlen;
+  Codec.W.u16 w h.ident;
+  Codec.W.u16 w ((if h.mf then flag_mf else 0) lor (h.frag_off / 8));
+  Codec.W.u8 w h.ttl;
+  Codec.W.u8 w h.proto_num;
+  Codec.W.u16 w 0;
+  Codec.W.u32 w (Addr.Ip.to_int h.src);
+  Codec.W.u32 w (Addr.Ip.to_int h.dst);
+  let raw = Codec.W.contents w in
+  let cksum = Codec.ip_checksum raw in
+  let b = Bytes.of_string raw in
+  Bytes.set_uint8 b 10 (cksum lsr 8);
+  Bytes.set_uint8 b 11 (cksum land 0xff);
+  Bytes.to_string b
+
+let decode_header s =
+  let r = Codec.R.of_string s in
+  let ver_ihl = Codec.R.u8 r in
+  if ver_ihl <> 0x45 then None
+  else begin
+    let _tos = Codec.R.u8 r in
+    let totlen = Codec.R.u16 r in
+    let ident = Codec.R.u16 r in
+    let flags_off = Codec.R.u16 r in
+    let ttl = Codec.R.u8 r in
+    let proto_num = Codec.R.u8 r in
+    let _cksum = Codec.R.u16 r in
+    let src = Addr.Ip.of_int32_bits (Codec.R.u32 r) in
+    let dst = Addr.Ip.of_int32_bits (Codec.R.u32 r) in
+    if Codec.ones_complement_sum s <> 0xffff then None
+    else
+      Some
+        {
+          totlen;
+          ident;
+          mf = flags_off land flag_mf <> 0;
+          frag_off = (flags_off land 0x1fff) * 8;
+          ttl;
+          proto_num;
+          src;
+          dst;
+        }
+  end
+
+let report_error t h payload err =
+  match t.error_hook with
+  | Some hook when h.proto_num <> 1 && not (Addr.Ip.equal h.src Addr.Ip.any) ->
+      let quote =
+        Msg.push
+          (Msg.sub payload 0 (min 8 (Msg.length payload)))
+          (encode_header h)
+      in
+      hook ~src:h.src err quote
+  | _ -> ()
+
+(* Routing: a destination on one of our interface networks is reached
+   directly; anything else goes to the gateway. *)
+let route t dst =
+  let local =
+    List.find_opt (fun i -> Addr.Ip.same_network i.if_ip dst) t.ifaces
+  in
+  match local with
+  | Some iface -> Some (iface, dst)
+  | None -> (
+      match t.gateway with
+      | None -> None
+      | Some gw -> (
+          match
+            List.find_opt (fun i -> Addr.Ip.same_network i.if_ip gw) t.ifaces
+          with
+          | Some iface -> Some (iface, gw)
+          | None -> None))
+
+let eth_session t iface next_hop =
+  match Hashtbl.find_opt t.eth_cache next_hop with
+  | Some s -> Some s
+  | None -> (
+      match Arp.resolve iface.if_arp next_hop with
+      | None -> None
+      | Some peer_eth ->
+          let part =
+            Part.v
+              ~local:
+                [ Part.Eth t.host.Host.eth; Part.Eth_type Addr.eth_type_ip ]
+              ~remotes:[ [ Part.Eth peer_eth ] ]
+              ()
+          in
+          let s = Proto.open_ (Eth.proto iface.if_eth) ~upper:t.p part in
+          Hashtbl.replace t.eth_cache next_hop s;
+          Some s)
+
+let lower_payload _t iface =
+  let mtu = Control.int_exn (Proto.control (Eth.proto iface.if_eth) Get_mtu) in
+  mtu - header_bytes
+
+(* Emit one datagram (fragmenting as needed) toward [dst]. *)
+let send_datagram t ~src ~dst ~proto_num ~ttl msg =
+  Machine.charge t.host.Host.mach [ Machine.Route_lookup ];
+  match route t dst with
+  | None -> Stats.incr t.stats "no-route"
+  | Some (iface, next_hop) -> (
+      match eth_session t iface next_hop with
+      | None -> Stats.incr t.stats "arp-fail"
+      | Some eth_sess ->
+          let payload_max = lower_payload t iface in
+          (* Fragment offsets must be multiples of 8. *)
+          let chunk = payload_max - (payload_max mod 8) in
+          let len = Msg.length msg in
+          let ident = t.next_ident in
+          t.next_ident <- (t.next_ident + 1) land 0xffff;
+          let rec emit off =
+            let remaining = len - off in
+            let this = min chunk remaining in
+            let mf = off + this < len in
+            let piece = Msg.sub msg off this in
+            let hdr =
+              encode_header
+                {
+                  totlen = header_bytes + this;
+                  ident;
+                  mf;
+                  frag_off = off;
+                  ttl;
+                  proto_num;
+                  src;
+                  dst;
+                }
+            in
+            Machine.charge t.host.Host.mach
+              [ Machine.Header header_bytes; Machine.Checksum header_bytes ];
+            Stats.incr t.stats (if mf || off > 0 then "tx-frag" else "tx");
+            Proto.push eth_sess (Msg.push piece hdr);
+            if mf then emit (off + this)
+          in
+          if len > max_packet then Stats.incr t.stats "too-big" else emit 0)
+
+let session_key ~peer ~proto_num = (Addr.Ip.to_int peer, proto_num)
+
+let make_session t ~upper ~peer ~proto_num =
+  let cell = ref None in
+  let self () = Option.get !cell in
+  let push msg =
+    send_datagram t ~src:t.host.Host.ip ~dst:peer ~proto_num
+      ~ttl:t.ttl_default msg
+  in
+  let pop msg = Proto.deliver upper ~lower:(self ()) msg in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer
+    | Control.Get_my_host -> Control.R_ip t.host.Host.ip
+    | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int proto_num
+    | Control.Get_max_packet -> Control.R_int max_packet
+    | Control.Get_opt_packet | Control.Get_mtu ->
+        Control.R_int (lower_payload t (List.hd t.ifaces))
+    | req -> Stats.control t.stats req
+  in
+  let close () = Hashtbl.remove t.sessions (session_key ~peer ~proto_num) in
+  let xs =
+    Proto.make_session t.p
+      ~name:(Printf.sprintf "ip(%s,%d)" (Addr.Ip.to_string peer) proto_num)
+      { push; pop; s_control; close }
+  in
+  cell := Some xs;
+  Hashtbl.replace t.sessions (session_key ~peer ~proto_num) xs;
+  xs
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer =
+    match Part.find_ip peer_part with
+    | Some ip -> ip
+    | None -> invalid_arg "Ip.open_: peer has no IP address"
+  in
+  let proto_num =
+    match
+      (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+    with
+    | Some n, _ | None, Some n -> n
+    | None, None -> invalid_arg "Ip.open_: no IP protocol number"
+  in
+  match Hashtbl.find_opt t.sessions (session_key ~peer ~proto_num) with
+  | Some s -> s
+  | None -> make_session t ~upper ~peer ~proto_num
+
+let deliver_up t ~src ~dst ~proto_num ~ttl msg =
+  match Hashtbl.find_opt t.sessions (session_key ~peer:src ~proto_num) with
+  | Some xs -> Proto.pop xs msg
+  | None -> (
+      match Hashtbl.find_opt t.enabled proto_num with
+      | Some upper ->
+          let xs = make_session t ~upper ~peer:src ~proto_num in
+          Proto.pop xs msg
+      | None ->
+          Stats.incr t.stats "rx-unbound";
+          report_error t
+            {
+              totlen = header_bytes + Msg.length msg;
+              ident = 0;
+              mf = false;
+              frag_off = 0;
+              ttl;
+              proto_num;
+              src;
+              dst;
+            }
+            msg Proto_unreachable)
+
+(* Reassembly: collect (offset, piece) pairs until they cover
+   [0, total).  Overlaps from duplicated fragments are tolerated by
+   keeping the first piece seen for an offset. *)
+let reasm_insert t key entry ~off ~mf piece =
+  if not (List.mem_assoc off entry.pieces) then
+    entry.pieces <- (off, piece) :: entry.pieces;
+  if not mf then entry.total <- Some (off + Msg.length piece);
+  match entry.total with
+  | None -> None
+  | Some total ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) entry.pieces
+      in
+      let rec covered pos = function
+        | [] -> pos >= total
+        | (off, piece) :: rest ->
+            if off > pos then false
+            else covered (max pos (off + Msg.length piece)) rest
+      in
+      if covered 0 sorted then begin
+        (match entry.timer with
+        | Some timer -> ignore (Event.cancel t.host timer)
+        | None -> ());
+        Hashtbl.remove t.reassembly key;
+        (* Assemble, trimming overlaps. *)
+        let body =
+          List.fold_left
+            (fun acc (off, piece) ->
+              let have = Msg.length acc in
+              if off >= have then Msg.append acc piece
+              else if off + Msg.length piece <= have then acc
+              else Msg.append acc (Msg.sub piece (have - off) (Msg.length piece - (have - off))))
+            Msg.empty sorted
+        in
+        Some (Msg.sub body 0 total)
+      end
+      else None
+
+let input t msg =
+  Machine.charge t.host.Host.mach
+    [
+      Machine.Header header_bytes;
+      Machine.Checksum header_bytes;
+      Machine.Reasm_lookup;
+    ];
+  match Msg.pop msg header_bytes with
+  | None -> Stats.incr t.stats "rx-runt"
+  | Some (hdr_raw, rest) -> (
+      match decode_header hdr_raw with
+      | None -> Stats.incr t.stats "rx-bad-checksum"
+      | Some h -> (
+          let payload_len = h.totlen - header_bytes in
+          if Msg.length rest < payload_len then Stats.incr t.stats "rx-short"
+          else
+            let payload = Msg.sub rest 0 payload_len in
+            let local_dst =
+              List.exists (fun i -> Addr.Ip.equal i.if_ip h.dst) t.ifaces
+              || Addr.Ip.equal h.dst Addr.Ip.broadcast
+            in
+            if not local_dst then begin
+              if t.forward && h.ttl <= 1 then begin
+                Stats.incr t.stats "ttl-exceeded";
+                report_error t h payload Ttl_exceeded
+              end
+              else if t.forward then begin
+                Stats.incr t.stats "forwarded";
+                (* Forward the fragment as-is (same ident/offset/MF) so
+                   the final destination can still reassemble. *)
+                Machine.charge t.host.Host.mach [ Machine.Route_lookup ];
+                match route t h.dst with
+                | None -> Stats.incr t.stats "no-route"
+                | Some (iface, next_hop) -> (
+                    match eth_session t iface next_hop with
+                    | None -> Stats.incr t.stats "arp-fail"
+                    | Some eth_sess ->
+                        let hdr = encode_header { h with ttl = h.ttl - 1 } in
+                        Machine.charge t.host.Host.mach
+                          [
+                            Machine.Header header_bytes;
+                            Machine.Checksum header_bytes;
+                          ];
+                        Proto.push eth_sess (Msg.push payload hdr))
+              end
+              else Stats.incr t.stats "rx-not-mine"
+            end
+            else if (not h.mf) && h.frag_off = 0 then begin
+              Stats.incr t.stats "rx";
+              deliver_up t ~src:h.src ~dst:h.dst ~proto_num:h.proto_num
+                ~ttl:h.ttl payload
+            end
+            else begin
+              Stats.incr t.stats "rx-frag";
+              let key = (Addr.Ip.to_int h.src, h.ident) in
+              let entry =
+                match Hashtbl.find_opt t.reassembly key with
+                | Some e -> e
+                | None ->
+                    (* Insert before scheduling the GC timer: scheduling
+                       charges (and so yields), and a concurrent shepherd
+                       carrying the next fragment must find this entry. *)
+                    let e = { pieces = []; total = None; timer = None } in
+                    Hashtbl.replace t.reassembly key e;
+                    e.timer <-
+                      Some
+                        (Event.schedule t.host reasm_timeout (fun () ->
+                             if Hashtbl.mem t.reassembly key then begin
+                               Hashtbl.remove t.reassembly key;
+                               Stats.incr t.stats "reasm-timeout"
+                             end));
+                    e
+              in
+              match
+                reasm_insert t key entry ~off:h.frag_off ~mf:h.mf payload
+              with
+              | None -> ()
+              | Some whole ->
+                  Stats.incr t.stats "rx";
+                  deliver_up t ~src:h.src ~dst:h.dst ~proto_num:h.proto_num
+                    ~ttl:h.ttl whole
+            end))
+
+let create ~host ~ifaces ?gateway ?(forward = false) ?(ttl = 32) () =
+  if ifaces = [] then invalid_arg "Ip.create: no interfaces";
+  let p = Proto.create ~host ~name:"IP" () in
+  let t =
+    {
+      host;
+      ifaces;
+      gateway;
+      forward;
+      ttl_default = ttl;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 16;
+      eth_cache = Hashtbl.create 16;
+      reassembly = Hashtbl.create 16;
+      next_ident = 1;
+      error_hook = None;
+      stats = Stats.create ();
+    }
+  in
+  let ops =
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | Some n -> Hashtbl.replace t.enabled n upper
+          | None -> invalid_arg "Ip.open_enable: no IP protocol number");
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower:_ msg -> input t msg);
+      p_control =
+        (fun req ->
+          match req with
+          | Control.Get_max_packet -> Control.R_int max_packet
+          | Control.Get_opt_packet | Control.Get_mtu ->
+              Control.R_int (lower_payload t (List.hd t.ifaces))
+          | Control.Get_my_host -> Control.R_ip host.Host.ip
+          | Control.Get_ttl -> Control.R_int t.ttl_default
+          | Control.Set_ttl n ->
+              if n < 1 || n > 255 then Control.Unsupported
+              else begin
+                t.ttl_default <- n;
+                Control.R_unit
+              end
+          | req -> Stats.control t.stats req);
+    }
+  in
+  Proto.set_ops p ops;
+  List.iter
+    (fun iface ->
+      Proto.open_enable (Eth.proto iface.if_eth) ~upper:p
+        (Part.v ~local:[ Part.Eth_type Addr.eth_type_ip ] ()))
+    ifaces;
+  Proto.declare_below p (List.map (fun i -> Eth.proto i.if_eth) ifaces);
+  t
+
+let create_simple ~host ~eth ~arp ?gateway () =
+  create ~host
+    ~ifaces:[ { if_ip = host.Host.ip; if_eth = eth; if_arp = arp } ]
+    ?gateway ()

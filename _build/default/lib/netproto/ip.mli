@@ -1,0 +1,66 @@
+(** Internet Protocol.
+
+    Unreliable datagram delivery to 32-bit IP addresses: 20-byte header
+    with one's-complement checksum, 8-bit protocol demultiplexing,
+    fragmentation/reassembly up to 64 KB, TTL, local-vs-gateway routing
+    over one or more interfaces, and optional forwarding (so a
+    three-host test can put a router between two wires).
+
+    In the paper this is the layer whose fixed 0.37 msec round-trip cost
+    motivates VIP: "inserting IP between Sprite RPC and the ethernet
+    automatically implies a 21% performance penalty" (section 3.1). *)
+
+type t
+
+type iface = {
+  if_ip : Xkernel.Addr.Ip.t;
+  if_eth : Eth.t;
+  if_arp : Arp.t;
+}
+
+val create :
+  host:Xkernel.Host.t ->
+  ifaces:iface list ->
+  ?gateway:Xkernel.Addr.Ip.t ->
+  ?forward:bool ->
+  ?ttl:int ->
+  unit ->
+  t
+(** [create ~host ~ifaces ()] — [ifaces] must be non-empty; the first is
+    the primary interface.  [gateway] is the next hop for non-local
+    destinations.  [forward] (default false) makes this instance a
+    router.  [ttl] defaults to 32. *)
+
+val create_simple :
+  host:Xkernel.Host.t ->
+  eth:Eth.t ->
+  arp:Arp.t ->
+  ?gateway:Xkernel.Addr.Ip.t ->
+  unit ->
+  t
+(** Single-interface convenience using the host's own IP. *)
+
+val proto : t -> Xkernel.Proto.t
+
+val max_packet : int
+(** 65,515 bytes of payload — "IP is able to deliver 64k-byte packets to
+    any host in the Internet" (section 3.1). *)
+
+val header_bytes : int
+(** 20. *)
+
+type delivery_error = Ttl_exceeded | Proto_unreachable
+
+val set_error_hook :
+  t ->
+  (src:Xkernel.Addr.Ip.t -> delivery_error -> Xkernel.Msg.t -> unit) ->
+  unit
+(** Install the error reporter (ICMP): called with the source to
+    notify, the reason, and the offending header plus up to eight
+    payload bytes.  Errors about ICMP traffic itself are suppressed. *)
+
+(** Participants: active [open_] needs [Ip dst] in the peer and
+    [Ip_proto n] in either participant; [open_enable] needs
+    [Ip_proto n].  Sessions answer [Get_peer_host], [Get_my_host],
+    [Get_peer_proto], [Get_max_packet] (65,515), [Get_opt_packet]
+    (lower MTU minus 20). *)

@@ -1,0 +1,24 @@
+open Xkernel
+
+let identify ~arp lower =
+  match Proto.session_control lower Control.Get_peer_host with
+  | Control.R_ip peer_ip ->
+      let proto_num =
+        Control.int_exn (Proto.session_control lower Control.Get_peer_proto)
+      in
+      (* An ethernet-type answer can only come through the non-IP branch
+         below, so a plain answer here is already an IP protocol
+         number. *)
+      Some (peer_ip, proto_num)
+  | _ -> (
+      match
+        ( Proto.session_control lower Control.Get_peer_eth,
+          Proto.session_control lower Control.Get_peer_proto )
+      with
+      | Control.R_eth peer_eth, Control.R_int eth_type -> (
+          match
+            (Arp.reverse arp peer_eth, Addr.ip_proto_of_eth_type eth_type)
+          with
+          | Some peer_ip, Some proto_num -> Some (peer_ip, proto_num)
+          | _ -> None)
+      | _ -> None)

@@ -1,0 +1,15 @@
+(** Peer identification for header-less protocols.
+
+    A virtual protocol attaches no header, so when a message comes up
+    from below it must learn *who* sent it from the lower session
+    itself, via [control] — the paper's "Information Loss" observation
+    in action.  An IP-like session answers [Get_peer_host] directly; an
+    ethernet session is identified through the reverse ARP cache plus
+    the VIP ethernet-type mapping. *)
+
+val identify :
+  arp:Arp.t ->
+  Xkernel.Proto.session ->
+  (Xkernel.Addr.Ip.t * Xkernel.Addr.ip_proto) option
+(** [identify ~arp lower] is the (peer IP, IP protocol number) pair
+    behind [lower], or [None] if the session cannot be identified. *)

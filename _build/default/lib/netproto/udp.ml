@@ -1,0 +1,200 @@
+open Xkernel
+
+let header_bytes = 8
+let ip_proto_udp = 17
+
+type t = {
+  host : Host.t;
+  lower : Proto.t;
+  checksum : bool;
+  p : Proto.t;
+  sessions : (int * int * int, Proto.session) Hashtbl.t;
+      (* (local port, peer ip, peer port) *)
+  enabled : (int, Proto.t) Hashtbl.t; (* local port -> upper *)
+  mutable next_ephemeral : int;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+
+let pseudo_checksum ~src ~dst payload =
+  let w = Codec.W.create () in
+  Codec.W.u32 w (Addr.Ip.to_int src);
+  Codec.W.u32 w (Addr.Ip.to_int dst);
+  Codec.W.bytes w (Msg.to_string payload);
+  Codec.ip_checksum (Codec.W.contents w)
+
+let encode ~sport ~dport ~len ~cksum =
+  let w = Codec.W.create ~size:header_bytes () in
+  Codec.W.u16 w sport;
+  Codec.W.u16 w dport;
+  Codec.W.u16 w len;
+  Codec.W.u16 w cksum;
+  Codec.W.contents w
+
+let decode s =
+  let r = Codec.R.of_string s in
+  let sport = Codec.R.u16 r in
+  let dport = Codec.R.u16 r in
+  let len = Codec.R.u16 r in
+  let cksum = Codec.R.u16 r in
+  (sport, dport, len, cksum)
+
+let ephemeral t =
+  let p = t.next_ephemeral in
+  t.next_ephemeral <- (if p >= 65535 then 49152 else p + 1);
+  p
+
+let lower_part t ~peer_ip =
+  Part.v
+    ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto ip_proto_udp ]
+    ~remotes:[ [ Part.Ip peer_ip; Part.Ip_proto ip_proto_udp ] ]
+    ()
+
+let make_session t ~upper ~lport ~peer_ip ~rport =
+  let cell = ref None in
+  let self () = Option.get !cell in
+  let lower_sess = Proto.open_ t.lower ~upper:t.p (lower_part t ~peer_ip) in
+  let push msg =
+    Stats.incr t.stats "tx";
+    let len = header_bytes + Msg.length msg in
+    let cksum =
+      if t.checksum then begin
+        Machine.charge t.host.Host.mach [ Machine.Checksum (Msg.length msg) ];
+        let dst =
+          Control.ip_exn (Proto.session_control lower_sess Get_peer_host)
+        in
+        pseudo_checksum ~src:t.host.Host.ip ~dst msg
+      end
+      else 0
+    in
+    Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+    Proto.push lower_sess
+      (Msg.push msg (encode ~sport:lport ~dport:rport ~len ~cksum))
+  in
+  let pop msg = Proto.deliver upper ~lower:(self ()) msg in
+  let s_control = function
+    | Control.Get_my_port -> Control.R_int lport
+    | Control.Get_peer_port -> Control.R_int rport
+    | ( Control.Get_peer_host | Control.Get_max_packet
+      | Control.Get_opt_packet | Control.Get_mtu ) as req ->
+        Proto.session_control lower_sess req
+    | req -> Stats.control t.stats req
+  in
+  let close () =
+    Hashtbl.remove t.sessions (lport, Addr.Ip.to_int peer_ip, rport)
+  in
+  let xs =
+    Proto.make_session t.p
+      ~name:
+        (Printf.sprintf "udp(%d,%s:%d)" lport (Addr.Ip.to_string peer_ip)
+           rport)
+      { push; pop; s_control; close }
+  in
+  cell := Some xs;
+  Hashtbl.replace t.sessions (lport, Addr.Ip.to_int peer_ip, rport) xs;
+  xs
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer_ip =
+    match Part.find_ip peer_part with
+    | Some ip -> ip
+    | None -> invalid_arg "Udp.open_: peer has no IP address"
+  in
+  let rport =
+    match Part.find_port peer_part with
+    | Some p -> p
+    | None -> invalid_arg "Udp.open_: peer has no port"
+  in
+  let lport =
+    match Part.find_port part.Part.local with
+    | Some p -> p
+    | None -> ephemeral t
+  in
+  match Hashtbl.find_opt t.sessions (lport, Addr.Ip.to_int peer_ip, rport) with
+  | Some s -> s
+  | None -> make_session t ~upper ~lport ~peer_ip ~rport
+
+let input t ~lower msg =
+  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  match Msg.pop msg header_bytes with
+  | None -> Stats.incr t.stats "rx-runt"
+  | Some (hdr, rest) -> (
+      let sport, dport, len, cksum = decode hdr in
+      if len < header_bytes || Msg.length rest < len - header_bytes then
+        Stats.incr t.stats "rx-short"
+      else
+        let payload = Msg.sub rest 0 (len - header_bytes) in
+        let src =
+          Control.ip_exn (Proto.session_control lower Get_peer_host)
+        in
+        let checksum_ok =
+          cksum = 0
+          ||
+          begin
+            Machine.charge t.host.Host.mach
+              [ Machine.Checksum (Msg.length payload) ];
+            pseudo_checksum ~src ~dst:t.host.Host.ip payload = cksum
+          end
+        in
+        if not checksum_ok then Stats.incr t.stats "rx-bad-checksum"
+        else
+          match
+            Hashtbl.find_opt t.sessions (dport, Addr.Ip.to_int src, sport)
+          with
+          | Some xs ->
+              Stats.incr t.stats "rx";
+              Proto.pop xs payload
+          | None -> (
+              match Hashtbl.find_opt t.enabled dport with
+              | Some upper ->
+                  Stats.incr t.stats "rx";
+                  let xs =
+                    make_session t ~upper ~lport:dport ~peer_ip:src
+                      ~rport:sport
+                  in
+                  Proto.pop xs payload
+              | None -> Stats.incr t.stats "rx-unbound"))
+
+let create ~host ~lower ?(checksum = false) () =
+  let p = Proto.create ~host ~name:"UDP" () in
+  let t =
+    {
+      host;
+      lower;
+      checksum;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 8;
+      next_ephemeral = 49152;
+      stats = Stats.create ();
+    }
+  in
+  let ops =
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_port part.Part.local with
+          | Some port -> Hashtbl.replace t.enabled port upper
+          | None -> invalid_arg "Udp.open_enable: no local port");
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          (* UDP relies on the layer below to fragment, so it will push
+             messages as large as that layer accepts (section 3.1). *)
+          | Control.Get_max_msg_size -> Proto.control t.lower Get_max_packet
+          | Control.Get_max_packet | Control.Get_opt_packet | Control.Get_mtu
+            ->
+              Proto.control t.lower req
+          | req -> Stats.control t.stats req);
+    }
+  in
+  Proto.set_ops p ops;
+  Proto.open_enable t.lower ~upper:p
+    (Part.v ~local:[ Part.Ip_proto ip_proto_udp ] ());
+  Proto.declare_below p [ lower ];
+  t

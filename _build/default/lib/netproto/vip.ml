@@ -1,0 +1,201 @@
+open Xkernel
+
+type t = {
+  host : Host.t;
+  eth : Eth.t;
+  ip : Ip.t;
+  arp : Arp.t;
+  adv : Vip_adv.t option;
+  p : Proto.t;
+  sessions : (int * int, Proto.session) Hashtbl.t; (* (peer ip, proto) *)
+  enabled : (int, Proto.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+let eth_payload t = Control.int_exn (Proto.control (Eth.proto t.eth) Get_mtu)
+
+(* The largest message the upper protocol says it will ever push.
+   Sprite RPC answers 1500 (it fragments for itself); UDP answers IP's
+   maximum (it relies on the layer below to fragment); a protocol that
+   does not answer is assumed to need the full IP service. *)
+let upper_max_msg upper =
+  match Proto.control upper Control.Get_max_msg_size with
+  | Control.R_int n -> n
+  | _ -> Ip.max_packet
+
+let eth_part t ~peer_eth ~proto_num =
+  Part.v
+    ~local:
+      [
+        Part.Eth t.host.Host.eth;
+        Part.Eth_type (Addr.eth_type_of_ip_proto proto_num);
+      ]
+    ~remotes:[ [ Part.Eth peer_eth ] ]
+    ()
+
+let ip_part t ~peer_ip ~proto_num =
+  Part.v
+    ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto proto_num ]
+    ~remotes:[ [ Part.Ip peer_ip; Part.Ip_proto proto_num ] ]
+    ()
+
+let make_session t ~upper ~peer_ip ~proto_num =
+  (* Open-time binding: resolve locality with ARP, ask the upper
+     protocol its maximum message size, then open ETH, IP or both. *)
+  let max_msg = upper_max_msg upper in
+  let payload = eth_payload t in
+  (* The peer must both be on the local wire (ARP) and — when the
+     advertisement table is in use — have announced that it runs VIP;
+     otherwise raw-ethernet VIP packets would just be dropped on its
+     floor (section 3.1). *)
+  let peer_runs_vip =
+    match t.adv with None -> true | Some adv -> Vip_adv.supports adv peer_ip
+  in
+  let local_eth = if peer_runs_vip then Arp.resolve t.arp peer_ip else None in
+  let eth_sess =
+    match local_eth with
+    | Some peer_eth when not (Addr.Eth.is_broadcast peer_eth) ->
+        Some
+          (Proto.open_ (Eth.proto t.eth) ~upper:t.p
+             (eth_part t ~peer_eth ~proto_num))
+    | _ -> None
+  in
+  let need_ip =
+    match eth_sess with None -> true | Some _ -> max_msg > payload
+  in
+  let ip_sess =
+    if need_ip then
+      Some (Proto.open_ (Ip.proto t.ip) ~upper:t.p (ip_part t ~peer_ip ~proto_num))
+    else None
+  in
+  Stats.incr t.stats
+    (match (eth_sess, ip_sess) with
+    | Some _, Some _ -> "open-both"
+    | Some _, None -> "open-eth"
+    | None, Some _ -> "open-ip"
+    | None, None -> "open-none");
+  let cell = ref None in
+  let self () = Option.get !cell in
+  let push msg =
+    (* The single test in VIP push (its cost is the Virtual_op charged
+       by Proto.push). *)
+    match (eth_sess, ip_sess) with
+    | Some es, _ when Msg.length msg <= payload ->
+        Stats.incr t.stats "tx-eth";
+        Proto.push es msg
+    | _, Some is ->
+        Stats.incr t.stats "tx-ip";
+        Proto.push is msg
+    | Some es, None ->
+        (* The upper protocol exceeded its advertised maximum; all we
+           can do is let the ethernet refuse it. *)
+        Stats.incr t.stats "tx-oversize";
+        Proto.push es msg
+    | None, None -> Stats.incr t.stats "tx-unroutable"
+  in
+  let pop msg = Proto.deliver upper ~lower:(self ()) msg in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer_ip
+    | Control.Get_my_host -> Control.R_ip t.host.Host.ip
+    | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int proto_num
+    | Control.Get_opt_packet | Control.Get_mtu -> Control.R_int payload
+    | Control.Get_max_packet ->
+        Control.R_int
+          (match ip_sess with Some _ -> Ip.max_packet | None -> payload)
+    | req -> Stats.control t.stats req
+  in
+  let close () =
+    Hashtbl.remove t.sessions (Addr.Ip.to_int peer_ip, proto_num)
+  in
+  let xs =
+    Proto.make_session t.p
+      ~name:
+        (Printf.sprintf "vip(%s,%d)" (Addr.Ip.to_string peer_ip) proto_num)
+      { push; pop; s_control; close }
+  in
+  cell := Some xs;
+  Hashtbl.replace t.sessions (Addr.Ip.to_int peer_ip, proto_num) xs;
+  xs
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer_ip =
+    match Part.find_ip peer_part with
+    | Some ip -> ip
+    | None -> invalid_arg "Vip.open_: peer has no IP address"
+  in
+  let proto_num =
+    match
+      (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+    with
+    | Some n, _ | None, Some n -> n
+    | None, None -> invalid_arg "Vip.open_: no IP protocol number"
+  in
+  match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer_ip, proto_num) with
+  | Some s -> s
+  | None -> make_session t ~upper ~peer_ip ~proto_num
+
+let input t ~lower msg =
+  match Lower_id.identify ~arp:t.arp lower with
+  | None -> Stats.incr t.stats "rx-unidentified"
+  | Some (peer_ip, proto_num) -> (
+      match
+        Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer_ip, proto_num)
+      with
+      | Some xs -> Proto.pop xs msg
+      | None -> (
+          match Hashtbl.find_opt t.enabled proto_num with
+          | Some upper ->
+              let xs = make_session t ~upper ~peer_ip ~proto_num in
+              Proto.pop xs msg
+          | None -> Stats.incr t.stats "rx-unbound"))
+
+let create ~host ~eth ~ip ~arp ?adv () =
+  let p = Proto.create ~host ~name:"VIP" ~virtual_:true () in
+  let t =
+    {
+      host;
+      eth;
+      ip;
+      arp;
+      adv;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 8;
+      stats = Stats.create ();
+    }
+  in
+  let ops =
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | None -> invalid_arg "Vip.open_enable: no IP protocol number"
+          | Some proto_num ->
+              Hashtbl.replace t.enabled proto_num upper;
+              (* Enable both lower paths: messages may arrive via the
+                 mapped ethernet type or via IP. *)
+              Proto.open_enable (Eth.proto t.eth) ~upper:t.p
+                (Part.v
+                   ~local:
+                     [ Part.Eth_type (Addr.eth_type_of_ip_proto proto_num) ]
+                   ());
+              Proto.open_enable (Ip.proto t.ip) ~upper:t.p
+                (Part.v ~local:[ Part.Ip_proto proto_num ] ()));
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          | Control.Get_max_packet -> Control.R_int Ip.max_packet
+          | Control.Get_opt_packet | Control.Get_mtu ->
+              Control.R_int (eth_payload t)
+          | Control.Get_my_host -> Control.R_ip host.Host.ip
+          | req -> Stats.control t.stats req);
+    }
+  in
+  Proto.set_ops p ops;
+  Proto.declare_below p [ Eth.proto eth; Ip.proto ip ];
+  t

@@ -1,0 +1,45 @@
+(** VIP — Virtual IP (section 3.1 of the paper).
+
+    A header-less *virtual protocol*: provides IP's semantics
+    (unreliable delivery to hosts named by IP address) but dynamically
+    multiplexes each message onto ETH or IP.  At [open_] time it
+
+    - asks the invoking (upper) protocol, via
+      [control Get_max_msg_size], the largest message it will ever push;
+    - decides whether the destination is on the local wire by trying to
+      resolve its IP address with ARP;
+
+    and opens an ETH session, an IP session, or both.  After that, "the
+    only overhead it adds to message delivery is the cost of the single
+    test in VIP push": [push] compares the message length against the
+    ethernet MTU and forwards to the corresponding lower session.
+
+    Upper protocols identify themselves with an 8-bit IP protocol
+    number; on the ethernet path VIP maps it into a reserved range of
+    256 ethernet types ({!Xkernel.Addr.eth_type_of_ip_proto}). *)
+
+type t
+
+val create :
+  host:Xkernel.Host.t ->
+  eth:Eth.t ->
+  ip:Ip.t ->
+  arp:Arp.t ->
+  ?adv:Vip_adv.t ->
+  unit ->
+  t
+(** Without [adv], VIP assumes every ARP-reachable host also runs VIP
+    (the paper's baseline assumption).  With [adv], the ethernet path
+    is used only toward hosts that advertised VIP support through the
+    broadcast protocol — the generalization section 3.1 sketches. *)
+
+val proto : t -> Xkernel.Proto.t
+
+(** Participants: active [open_] needs [Ip dst] in the peer and
+    [Ip_proto n] in either participant; [open_enable] needs
+    [Ip_proto n] and enables *both* lower paths.  Sessions answer
+    [Get_peer_host], [Get_max_packet], [Get_opt_packet].
+
+    Statistics (via [Get_stat]): ["tx-eth"], ["tx-ip"], ["open-eth"],
+    ["open-ip"], ["open-both"] — the tests assert path selection with
+    these. *)

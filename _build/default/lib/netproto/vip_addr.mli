@@ -1,0 +1,22 @@
+(** VIPaddr — open-time-only virtual protocol (section 4.3).
+
+    Selects between ETH and IP by destination address, exactly like VIP,
+    but "is only involved at open time; it opens a lower-level IP or ETH
+    session and returns it rather than returning a session of its own".
+    Consequently it adds *zero* per-message overhead: the session a
+    caller gets back from [open_] belongs to ETH or IP, and incoming
+    messages are delivered directly to the caller.
+
+    Because VIPaddr never sees messages, it cannot fall back between
+    paths per message — the caller's advertised maximum message size
+    must fit the chosen path (which is why the paper pairs it with
+    VIPsize, which splits traffic by size *above* it). *)
+
+type t
+
+val create : host:Xkernel.Host.t -> eth:Eth.t -> ip:Ip.t -> arp:Arp.t -> t
+val proto : t -> Xkernel.Proto.t
+
+(** [open_ ~upper part] returns an ETH session when the peer resolves
+    locally via ARP, an IP session otherwise.  [open_enable] enables
+    [upper] on both lower protocols directly. *)

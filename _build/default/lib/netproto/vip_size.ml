@@ -1,0 +1,156 @@
+open Xkernel
+
+type t = {
+  host : Host.t;
+  bulk : Proto.t;
+  direct : Proto.t;
+  arp : Arp.t;
+  p : Proto.t;
+  sessions : (int * int, Proto.session) Hashtbl.t;
+  enabled : (int, Proto.t) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let proto t = t.p
+
+let upper_max_msg upper =
+  match Proto.control upper Control.Get_max_msg_size with
+  | Control.R_int n -> n
+  | _ -> max_int
+
+let part_for t ~peer_ip ~proto_num =
+  Part.v
+    ~local:[ Part.Ip t.host.Host.ip; Part.Ip_proto proto_num ]
+    ~remotes:[ [ Part.Ip peer_ip; Part.Ip_proto proto_num ] ]
+    ()
+
+let make_session t ~upper ~peer_ip ~proto_num =
+  let part = part_for t ~peer_ip ~proto_num in
+  let direct_sess = Proto.open_ t.direct ~upper:t.p part in
+  let threshold =
+    Control.int_exn (Proto.session_control direct_sess Control.Get_opt_packet)
+  in
+  let bulk_sess =
+    if upper_max_msg upper > threshold then
+      Some (Proto.open_ t.bulk ~upper:t.p part)
+    else None
+  in
+  let cell = ref None in
+  let self () = Option.get !cell in
+  let push msg =
+    (* The single size test; its cost is the Virtual_op charged by
+       Proto.push. *)
+    match bulk_sess with
+    | Some bs when Msg.length msg > threshold ->
+        Stats.incr t.stats "tx-bulk";
+        Proto.push bs msg
+    | _ ->
+        Stats.incr t.stats "tx-direct";
+        Proto.push direct_sess msg
+  in
+  let pop msg = Proto.deliver upper ~lower:(self ()) msg in
+  let s_control = function
+    | Control.Get_peer_host -> Control.R_ip peer_ip
+    | Control.Get_my_host -> Control.R_ip t.host.Host.ip
+    | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int proto_num
+    | Control.Get_opt_packet | Control.Get_mtu -> Control.R_int threshold
+    | Control.Get_max_packet -> (
+        match bulk_sess with
+        | Some bs -> Proto.session_control bs Control.Get_max_packet
+        | None -> Control.R_int threshold)
+    | Control.Get_frag_size as req -> (
+        match bulk_sess with
+        | Some bs -> Proto.session_control bs req
+        | None -> Control.Unsupported)
+    | req -> Stats.control t.stats req
+  in
+  let close () =
+    Hashtbl.remove t.sessions (Addr.Ip.to_int peer_ip, proto_num)
+  in
+  let xs =
+    Proto.make_session t.p
+      ~name:
+        (Printf.sprintf "vipsize(%s,%d)" (Addr.Ip.to_string peer_ip)
+           proto_num)
+      { push; pop; s_control; close }
+  in
+  cell := Some xs;
+  Hashtbl.replace t.sessions (Addr.Ip.to_int peer_ip, proto_num) xs;
+  xs
+
+let open_session t ~upper part =
+  let peer_part = Part.peer part in
+  let peer_ip =
+    match Part.find_ip peer_part with
+    | Some ip -> ip
+    | None -> invalid_arg "Vip_size.open_: peer has no IP address"
+  in
+  let proto_num =
+    match
+      (Part.find_ip_proto peer_part, Part.find_ip_proto part.Part.local)
+    with
+    | Some n, _ | None, Some n -> n
+    | None, None -> invalid_arg "Vip_size.open_: no IP protocol number"
+  in
+  match Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer_ip, proto_num) with
+  | Some s -> s
+  | None -> make_session t ~upper ~peer_ip ~proto_num
+
+let input t ~lower msg =
+  match Lower_id.identify ~arp:t.arp lower with
+  | None -> Stats.incr t.stats "rx-unidentified"
+  | Some (peer_ip, proto_num) -> (
+      match
+        Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer_ip, proto_num)
+      with
+      | Some xs -> Proto.pop xs msg
+      | None -> (
+          match Hashtbl.find_opt t.enabled proto_num with
+          | Some upper ->
+              let xs = make_session t ~upper ~peer_ip ~proto_num in
+              Proto.pop xs msg
+          | None -> Stats.incr t.stats "rx-unbound"))
+
+let create ~host ~bulk ~direct ~arp =
+  let p = Proto.create ~host ~name:"VIPsize" ~virtual_:true () in
+  let t =
+    {
+      host;
+      bulk;
+      direct;
+      arp;
+      p;
+      sessions = Hashtbl.create 16;
+      enabled = Hashtbl.create 8;
+      stats = Stats.create ();
+    }
+  in
+  let ops =
+    {
+      Proto.open_ = (fun ~upper part -> open_session t ~upper part);
+      open_enable =
+        (fun ~upper part ->
+          match Part.find_ip_proto part.Part.local with
+          | None -> invalid_arg "Vip_size.open_enable: no IP protocol number"
+          | Some proto_num ->
+              Hashtbl.replace t.enabled proto_num upper;
+              let enable_part =
+                Part.v ~local:[ Part.Ip_proto proto_num ] ()
+              in
+              Proto.open_enable t.bulk ~upper:t.p enable_part;
+              Proto.open_enable t.direct ~upper:t.p enable_part);
+      open_done = (fun ~upper part -> open_session t ~upper part);
+      demux = (fun ~lower msg -> input t ~lower msg);
+      p_control =
+        (fun req ->
+          match req with
+          | Control.Get_max_packet -> Proto.control t.bulk req
+          | Control.Get_opt_packet | Control.Get_mtu ->
+              Proto.control t.direct Control.Get_opt_packet
+          | Control.Get_my_host -> Control.R_ip host.Host.ip
+          | req -> Stats.control t.stats req);
+    }
+  in
+  Proto.set_ops p ops;
+  Proto.declare_below p [ bulk; direct ];
+  t

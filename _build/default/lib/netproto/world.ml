@@ -1,0 +1,112 @@
+open Xkernel
+
+type node = {
+  host : Host.t;
+  dev : Netdev.t;
+  eth : Eth.t;
+  arp : Arp.t;
+  ip : Ip.t;
+  vip : Vip.t;
+  vip_addr : Vip_addr.t;
+}
+
+type t = { sim : Sim.t; wire : Wire.t; nodes : node array }
+
+let eth_base = 0x08_00_20_00_00_00
+
+let make_node sim wire ~name ~ip_addr ~eth_addr ~profile ~gateway =
+  let host =
+    Host.create sim ~name ~ip:ip_addr ~eth:(Addr.Eth.v eth_addr) ~profile ()
+  in
+  let dev = Netdev.create ~host ~wire in
+  let eth = Eth.create ~host ~dev in
+  let arp = Arp.create ~host ~eth in
+  let ip = Ip.create_simple ~host ~eth ~arp ?gateway () in
+  let vip = Vip.create ~host ~eth ~ip ~arp () in
+  let vip_addr = Vip_addr.create ~host ~eth ~ip ~arp in
+  { host; dev; eth; arp; ip; vip; vip_addr }
+
+let create_net sim wire ~net_prefix ~count ~profile ~gateway ~eth_off =
+  let nodes =
+    Array.init count (fun i ->
+        make_node sim wire
+          ~name:(Printf.sprintf "h%d.%d" net_prefix i)
+          ~ip_addr:(Addr.Ip.v 10 0 net_prefix (i + 1))
+          ~eth_addr:(eth_base + (net_prefix * 256) + eth_off + i)
+          ~profile ~gateway)
+  in
+  { sim; wire; nodes }
+
+let create ?(n = 2) ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
+  let sim = Sim.create () in
+  let wire = Wire.create sim ~seed () in
+  create_net sim wire ~net_prefix:0 ~count:n ~profile ~gateway:None ~eth_off:0
+
+let node t i = t.nodes.(i)
+let ip_of t i = (node t i).host.Host.ip
+let run ?until t = Sim.run ?until t.sim
+let spawn t f = Sim.spawn t.sim f
+
+type internet = {
+  inet_sim : Sim.t;
+  west : t;
+  east : t;
+  router : node * node;
+}
+
+let create_internet ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
+  let sim = Sim.create () in
+  let wire_w = Wire.create sim ~seed () in
+  let wire_e = Wire.create sim ~seed:(seed + 1) () in
+  let gw_w = Addr.Ip.v 10 0 0 254 and gw_e = Addr.Ip.v 10 0 1 254 in
+  let west =
+    create_net sim wire_w ~net_prefix:0 ~count:2 ~profile
+      ~gateway:(Some gw_w) ~eth_off:0
+  in
+  let east =
+    create_net sim wire_e ~net_prefix:1 ~count:2 ~profile
+      ~gateway:(Some gw_e) ~eth_off:0
+  in
+  (* The router is one box with an interface (and therefore a host
+     record carrying the interface address) on each wire; a single
+     forwarding IP instance spans both. *)
+  let rw_host =
+    Host.create sim ~name:"router.w" ~ip:gw_w
+      ~eth:(Addr.Eth.v (eth_base + 0xf0))
+      ~profile ()
+  in
+  let re_host =
+    Host.create sim ~name:"router.e" ~ip:gw_e
+      ~eth:(Addr.Eth.v (eth_base + 0xf1))
+      ~profile ()
+  in
+  let mk_iface host wire =
+    let dev = Netdev.create ~host ~wire in
+    let eth = Eth.create ~host ~dev in
+    let arp = Arp.create ~host ~eth in
+    (dev, eth, arp)
+  in
+  let dev_w, eth_w, arp_w = mk_iface rw_host wire_w in
+  let dev_e, eth_e, arp_e = mk_iface re_host wire_e in
+  let router_ip =
+    Ip.create ~host:rw_host
+      ~ifaces:
+        [
+          { Ip.if_ip = gw_w; if_eth = eth_w; if_arp = arp_w };
+          { Ip.if_ip = gw_e; if_eth = eth_e; if_arp = arp_e };
+        ]
+      ~forward:true ()
+  in
+  let mk_router_node host dev eth arp =
+    let vip = Vip.create ~host ~eth ~ip:router_ip ~arp () in
+    let vip_addr = Vip_addr.create ~host ~eth ~ip:router_ip ~arp in
+    { host; dev; eth; arp; ip = router_ip; vip; vip_addr }
+  in
+  {
+    inet_sim = sim;
+    west;
+    east;
+    router =
+      ( mk_router_node rw_host dev_w eth_w arp_w,
+        mk_router_node re_host dev_e eth_e arp_e );
+  }

@@ -1,0 +1,49 @@
+(** Test-bed configuration: simulated hosts with standard stacks.
+
+    Mirrors configuring an x-kernel instance: each node gets a device,
+    ETH, ARP, IP, VIP and VIPaddr objects wired together.  {!create}
+    builds the paper's test bed — Sun 3/75-profile hosts on one isolated
+    10 Mb/s ethernet; {!create_internet} builds two wires joined by a
+    forwarding router, for experiments where the peer is *not* on the
+    local ethernet (VIP's remote case). *)
+
+type node = {
+  host : Xkernel.Host.t;
+  dev : Xkernel.Netdev.t;
+  eth : Eth.t;
+  arp : Arp.t;
+  ip : Ip.t;
+  vip : Vip.t;
+  vip_addr : Vip_addr.t;
+}
+
+type t = {
+  sim : Xkernel.Sim.t;
+  wire : Xkernel.Wire.t;
+  nodes : node array;
+}
+
+val create :
+  ?n:int -> ?profile:Xkernel.Machine.profile -> ?seed:int -> unit -> t
+(** [create ()] is two hosts ([h0] = 10.0.0.1, [h1] = 10.0.0.2) on one
+    wire.  [n] adds more hosts on the same wire. *)
+
+val node : t -> int -> node
+val ip_of : t -> int -> Xkernel.Addr.Ip.t
+
+val run : ?until:float -> t -> unit
+(** Drive the simulator (delegates to {!Xkernel.Sim.run}). *)
+
+val spawn : t -> (unit -> unit) -> unit
+
+type internet = {
+  inet_sim : Xkernel.Sim.t;
+  west : t;  (** network 10.0.0.x, gateway 10.0.0.254 *)
+  east : t;  (** network 10.0.1.x, gateway 10.0.1.254 *)
+  router : node * node;  (** the router's two interfaces (west, east) *)
+}
+
+val create_internet : ?profile:Xkernel.Machine.profile -> ?seed:int -> unit -> internet
+(** Two 2-host ethernets joined by an IP router; hosts have their
+    gateway configured, so cross-network traffic exercises IP
+    forwarding while VIP detects non-locality via ARP failure. *)

@@ -1,0 +1,1 @@
+lib/xkernel/addr.ml: Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/xkernel/codec.ml: Buffer Char String

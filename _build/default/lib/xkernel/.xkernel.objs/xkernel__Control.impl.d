@@ -1,0 +1,1 @@
+lib/xkernel/control.ml: Addr Format Printf

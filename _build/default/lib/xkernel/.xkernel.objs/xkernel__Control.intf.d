@@ -1,0 +1,1 @@
+lib/xkernel/control.mli: Addr Format

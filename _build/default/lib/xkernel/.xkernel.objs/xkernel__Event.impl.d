@@ -1,0 +1,1 @@
+lib/xkernel/event.ml: Host Machine Sim

@@ -1,0 +1,1 @@
+lib/xkernel/host.ml: Addr Format Machine

@@ -1,0 +1,1 @@
+lib/xkernel/host.mli: Addr Format Machine Sim

@@ -1,0 +1,1 @@
+lib/xkernel/machine.mli: Sim

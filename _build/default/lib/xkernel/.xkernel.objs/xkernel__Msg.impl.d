@@ -1,0 +1,1 @@
+lib/xkernel/msg.ml: Buffer Char Format Printf String

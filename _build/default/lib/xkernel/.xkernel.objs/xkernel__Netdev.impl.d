@@ -1,0 +1,1 @@
+lib/xkernel/netdev.ml: Addr Char Host Machine Msg Queue Sim String Trace Wire

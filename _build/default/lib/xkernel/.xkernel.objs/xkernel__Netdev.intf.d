@@ -1,0 +1,1 @@
+lib/xkernel/netdev.mli: Addr Host Msg Wire

@@ -1,0 +1,1 @@
+lib/xkernel/part.ml: Addr Format

@@ -1,0 +1,1 @@
+lib/xkernel/part.mli: Addr Format

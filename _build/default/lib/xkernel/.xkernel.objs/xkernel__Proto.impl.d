@@ -1,0 +1,1 @@
+lib/xkernel/proto.ml: Control Format Hashtbl Host List Machine Msg Option Part

@@ -1,0 +1,1 @@
+lib/xkernel/proto.mli: Control Format Host Msg Part

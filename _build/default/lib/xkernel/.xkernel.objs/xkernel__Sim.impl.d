@@ -1,0 +1,1 @@
+lib/xkernel/sim.ml: Effect Map Option Printf Queue

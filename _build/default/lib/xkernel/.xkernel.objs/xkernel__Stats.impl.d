@@ -1,0 +1,1 @@
+lib/xkernel/stats.ml: Control Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/xkernel/stats.mli: Control

@@ -1,0 +1,1 @@
+lib/xkernel/trace.ml: Format Logs Msg Sim

@@ -1,0 +1,1 @@
+lib/xkernel/trace.mli: Format Logs Msg Sim

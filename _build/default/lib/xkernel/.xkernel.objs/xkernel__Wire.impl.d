@@ -1,0 +1,1 @@
+lib/xkernel/wire.ml: Char List Msg Random Sim

@@ -1,0 +1,1 @@
+lib/xkernel/wire.mli: Msg Sim

@@ -1,0 +1,29 @@
+type t = { mutable ev : Sim.event option; mutable done_ : bool }
+
+let schedule host d f =
+  Machine.charge host.Host.mach [ Machine.Timer_op ];
+  let t = { ev = None; done_ = false } in
+  t.ev <-
+    Some
+      (Sim.after (Host.sim host) d (fun () ->
+           t.done_ <- true;
+           f ()));
+  t
+
+let cancel host t =
+  (* Cancel before charging: charging yields the fiber, and a due timer
+     must not be able to fire in that window. *)
+  let ok =
+    if t.done_ then false
+    else
+      match t.ev with
+      | None -> false
+      | Some ev ->
+          let ok = Sim.cancel ev in
+          if ok then t.done_ <- true;
+          ok
+  in
+  Machine.charge host.Host.mach [ Machine.Timer_op ];
+  ok
+
+let cancelled_or_fired t = t.done_

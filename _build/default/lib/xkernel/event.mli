@@ -1,0 +1,20 @@
+(** The x-kernel event (timer) library.
+
+    Thin veneer over {!Sim} using the x-kernel's vocabulary: protocols
+    schedule a handler to run after a delay and may cancel it before it
+    fires — the mechanism behind every retransmission timer in the RPC
+    layers.  A charged [Timer_op] accounts for the bookkeeping cost on
+    the host that owns the timer. *)
+
+type t
+(** A scheduled event handle. *)
+
+val schedule : Host.t -> float -> (unit -> unit) -> t
+(** [schedule host d f] runs [f] (in a fresh fiber) after [d] virtual
+    seconds, charging one [Timer_op] to [host] now. *)
+
+val cancel : Host.t -> t -> bool
+(** [cancel host ev] cancels [ev], charging one [Timer_op]; [false] if
+    the event already fired or was cancelled. *)
+
+val cancelled_or_fired : t -> bool

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  ip : Addr.Ip.t;
+  eth : Addr.Eth.t;
+  mach : Machine.t;
+  mutable boot_id : int;
+}
+
+let create sim ~name ~ip ~eth ?(profile = Machine.xkernel_sun3) () =
+  { name; ip; eth; mach = Machine.create sim profile; boot_id = 1 }
+
+let sim h = Machine.sim h.mach
+let reboot h = h.boot_id <- h.boot_id + 1
+
+let pp fmt h =
+  Format.fprintf fmt "%s(%a,%a)" h.name Addr.Ip.pp h.ip Addr.Eth.pp h.eth

@@ -1,0 +1,34 @@
+(** Simulated hosts.
+
+    A host bundles an identity (name, IP address, ethernet address), a
+    CPU cost model and a boot identifier.  Protocol objects are
+    instantiated per host; the two-machine experiments of the paper
+    build two hosts on one wire. *)
+
+type t = {
+  name : string;
+  ip : Addr.Ip.t;
+  eth : Addr.Eth.t;
+  mach : Machine.t;
+  mutable boot_id : int;
+      (** Monotonic boot identifier carried in Sprite RPC headers to
+          give at-most-once semantics across server restarts. *)
+}
+
+val create :
+  Sim.t ->
+  name:string ->
+  ip:Addr.Ip.t ->
+  eth:Addr.Eth.t ->
+  ?profile:Machine.profile ->
+  unit ->
+  t
+(** [create sim ~name ~ip ~eth ()] is a host with the default
+    {!Machine.xkernel_sun3} profile. *)
+
+val sim : t -> Sim.t
+val reboot : t -> unit
+(** [reboot h] increments [h.boot_id] — servers restarted mid-call make
+    clients observe an at-most-once failure rather than a re-execution. *)
+
+val pp : Format.formatter -> t -> unit

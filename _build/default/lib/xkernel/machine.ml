@@ -1,0 +1,178 @@
+type buffer_scheme = Prealloc | Per_header_alloc
+
+type profile = {
+  profile_name : string;
+  layer_crossing : float;
+  virtual_op : float;
+  header_base : float;
+  header_per_byte : float;
+  checksum_per_byte : float;
+  route_lookup : float;
+  reasm_lookup : float;
+  frag_bookkeep : float;
+  process_switch : float;
+  semaphore_op : float;
+  timer_op : float;
+  interrupt : float;
+  device_fixed : float;
+  device_per_byte : float;
+  syscall : float;
+  os_per_message : float;
+  alloc : float;
+  buffer_scheme : buffer_scheme;
+}
+
+let us x = x *. 1e-6
+
+let xkernel_sun3 =
+  {
+    profile_name = "xkernel-sun3";
+    layer_crossing = us 22.;
+    virtual_op = us 15.;
+    header_base = us 5.;
+    header_per_byte = us 0.4;
+    checksum_per_byte = us 1.5;
+    route_lookup = us 30.;
+    reasm_lookup = us 15.;
+    frag_bookkeep = us 10.;
+    process_switch = us 140.;
+    semaphore_op = us 25.;
+    timer_op = us 6.;
+    interrupt = us 185.;
+    device_fixed = us 100.;
+    device_per_byte = us 0.72;
+    syscall = us 120.;
+    os_per_message = 0.;
+    alloc = us 97.;
+    buffer_scheme = Prealloc;
+  }
+
+(* The Sprite kernel's RPC is "less structured": per-message costs are
+   higher (general-purpose buffer management, a process switch on the
+   receive path) even though it crosses fewer layers.  Fitted to the
+   paper's published N.RPC numbers: 2.6 msec latency, ~700 KB/s,
+   1.2 msec incremental cost per KB (Table I). *)
+let sprite_kernel =
+  {
+    xkernel_sun3 with
+    profile_name = "sprite-kernel";
+    layer_crossing = us 60.;
+    header_base = us 20.;
+    header_per_byte = us 1.0;
+    process_switch = us 250.;
+    semaphore_op = us 40.;
+    interrupt = us 225.;
+    device_fixed = us 170.;
+    device_per_byte = us 0.72;
+    os_per_message = us 120.;
+  }
+
+(* SunOS 4.0 sockets: syscalls, socket-buffer copies and a wakeup/switch
+   on each message.  Fitted to the intro's 5.36 msec UDP round trip. *)
+let sunos_socket =
+  {
+    xkernel_sun3 with
+    profile_name = "sunos-socket";
+    layer_crossing = us 55.;
+    header_base = us 12.;
+    process_switch = us 300.;
+    interrupt = us 250.;
+    device_fixed = us 160.;
+    syscall = us 350.;
+    os_per_message = us 450.;
+  }
+
+let with_buffer_scheme buffer_scheme p = { p with buffer_scheme }
+
+(* All-zero profile: virtual time never advances, so wall-clock
+   microbenchmarks measure only the real cost of the infrastructure. *)
+let zero_cost =
+  {
+    profile_name = "zero-cost";
+    layer_crossing = 0.;
+    virtual_op = 0.;
+    header_base = 0.;
+    header_per_byte = 0.;
+    checksum_per_byte = 0.;
+    route_lookup = 0.;
+    reasm_lookup = 0.;
+    frag_bookkeep = 0.;
+    process_switch = 0.;
+    semaphore_op = 0.;
+    timer_op = 0.;
+    interrupt = 0.;
+    device_fixed = 0.;
+    device_per_byte = 0.;
+    syscall = 0.;
+    os_per_message = 0.;
+    alloc = 0.;
+    buffer_scheme = Prealloc;
+  }
+
+type op =
+  | Layer_crossing
+  | Virtual_op
+  | Header of int
+  | Checksum of int
+  | Route_lookup
+  | Reasm_lookup
+  | Frag_bookkeep
+  | Process_switch
+  | Semaphore_op
+  | Timer_op
+  | Interrupt of int
+  | Device_send of int
+  | Syscall
+  | Os_per_message
+  | Busy of float
+
+let op_cost p = function
+  | Layer_crossing -> p.layer_crossing
+  | Virtual_op -> p.virtual_op
+  | Header n ->
+      let alloc =
+        match p.buffer_scheme with
+        | Prealloc -> 0.
+        | Per_header_alloc -> p.alloc
+      in
+      p.header_base +. (float_of_int n *. p.header_per_byte) +. alloc
+  | Checksum n -> float_of_int n *. p.checksum_per_byte
+  | Route_lookup -> p.route_lookup
+  | Reasm_lookup -> p.reasm_lookup
+  | Frag_bookkeep -> p.frag_bookkeep
+  | Process_switch -> p.process_switch
+  | Semaphore_op -> p.semaphore_op
+  | Timer_op -> p.timer_op
+  | Interrupt n -> p.interrupt +. (float_of_int n *. p.device_per_byte)
+  | Device_send n -> p.device_fixed +. (float_of_int n *. p.device_per_byte)
+  | Syscall -> p.syscall
+  | Os_per_message -> p.os_per_message
+  | Busy s -> s
+
+type t = {
+  m_sim : Sim.t;
+  cpu : Sim.Semaphore.sem;
+  mutable prof : profile;
+  mutable busy : float;
+}
+
+let create m_sim prof =
+  { m_sim; cpu = Sim.Semaphore.create m_sim 1; prof; busy = 0. }
+
+let sim m = m.m_sim
+let profile m = m.prof
+let set_profile m p = m.prof <- p
+
+let charge m ops =
+  let total =
+    List.fold_left (fun acc op -> acc +. op_cost m.prof op) 0. ops
+  in
+  if total > 0. then begin
+    Sim.Semaphore.p m.cpu;
+    Sim.delay m.m_sim total;
+    m.busy <- m.busy +. total;
+    Sim.Semaphore.v m.cpu
+  end
+
+let cpu_seconds m = m.busy
+let reset_cpu_seconds m = m.busy <- 0.

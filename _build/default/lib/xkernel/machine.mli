@@ -1,0 +1,101 @@
+(** Calibrated CPU cost model.
+
+    The paper's measurements come from Sun 3/75 workstations; this
+    repository reproduces the msec scale with a per-operation cost model
+    while the protocol *behaviour* (packet counts, layer crossings,
+    timeouts) comes from actually running the protocol code.  Each
+    simulated host owns a {!t}; protocol code charges abstract
+    operations ({!op}) against it, which advances virtual time while
+    holding the host's single CPU.
+
+    Calibration (see DESIGN.md §5) is anchored to the paper's published
+    component costs — 0.11 msec minimum round-trip cost per layer, 0.06
+    msec for a virtual protocol's per-message test, 0.37 msec for IP,
+    CHANNEL's synchronisation cost — rather than to the table rows
+    themselves, so the tables are genuine predictions of composition. *)
+
+(** The buffer-management ablation of section 5 ("Potential Pitfalls of
+    Layering"): allocating a buffer per pushed header cost 0.50 msec per
+    layer; the pre-allocated header buffer costs 0.11. *)
+type buffer_scheme = Prealloc | Per_header_alloc
+
+type profile = {
+  profile_name : string;
+  layer_crossing : float;  (** one push or demux across a layer boundary *)
+  virtual_op : float;  (** a virtual protocol's per-message test *)
+  header_base : float;  (** fixed cost to encode or decode one header *)
+  header_per_byte : float;
+  checksum_per_byte : float;
+  route_lookup : float;  (** IP routing decision *)
+  reasm_lookup : float;  (** reassembly-table lookup *)
+  frag_bookkeep : float;  (** fragment mask/cache bookkeeping *)
+  process_switch : float;
+  semaphore_op : float;
+  timer_op : float;  (** registering or cancelling an event *)
+  interrupt : float;  (** fixed receive-interrupt dispatch cost *)
+  device_fixed : float;  (** fixed transmit cost in the driver *)
+  device_per_byte : float;  (** DMA/copy cost, both directions *)
+  syscall : float;  (** user/kernel boundary crossing *)
+  os_per_message : float;
+      (** per-message kernel overhead outside the protocols; zero in the
+          x-kernel, large in the SunOS-socket profile *)
+  alloc : float;  (** per-buffer allocation under {!Per_header_alloc} *)
+  buffer_scheme : buffer_scheme;
+}
+
+val xkernel_sun3 : profile
+(** The x-kernel on a Sun 3/75 — the profile behind every x-kernel
+    number in the paper. *)
+
+val sprite_kernel : profile
+(** Heavier "native Sprite kernel" profile used for the N.RPC baseline
+    row of Table I. *)
+
+val sunos_socket : profile
+(** SunOS 4.0 socket-layer profile used for the intro's UDP comparison. *)
+
+val with_buffer_scheme : buffer_scheme -> profile -> profile
+
+val zero_cost : profile
+(** All operations free: virtual time never advances.  Used by the
+    wall-clock microbenchmarks, which measure the real OCaml cost of
+    the infrastructure (e.g. that a layer crossing is one call). *)
+
+type op =
+  | Layer_crossing
+  | Virtual_op
+  | Header of int  (** encode or decode [n] header bytes *)
+  | Checksum of int
+  | Route_lookup
+  | Reasm_lookup
+  | Frag_bookkeep
+  | Process_switch
+  | Semaphore_op
+  | Timer_op
+  | Interrupt of int  (** receive [n] bytes off the device *)
+  | Device_send of int  (** hand [n] bytes to the device *)
+  | Syscall
+  | Os_per_message
+  | Busy of float  (** explicit CPU seconds (application work) *)
+
+val op_cost : profile -> op -> float
+
+type t
+(** One host's CPU: a mutually exclusive resource on the virtual
+    clock plus an accumulated-busy-time counter. *)
+
+val create : Sim.t -> profile -> t
+val sim : t -> Sim.t
+val profile : t -> profile
+val set_profile : t -> profile -> unit
+
+val charge : t -> op list -> unit
+(** [charge m ops] occupies the CPU for the summed cost of [ops]
+    (blocking the calling fiber; contending fibers queue FIFO) and adds
+    it to the busy-time counter.  Free when the total cost is zero. *)
+
+val cpu_seconds : t -> float
+(** Total CPU time charged so far — the paper's "uses less CPU time"
+    comparisons (sections 4.1, 4.2). *)
+
+val reset_cpu_seconds : t -> unit

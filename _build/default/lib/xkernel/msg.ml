@@ -1,0 +1,115 @@
+type t =
+  | Empty
+  | Leaf of { data : string; off : int; len : int }
+  | Cat of { left : t; right : t; len : int }
+
+let empty = Empty
+let length = function Empty -> 0 | Leaf l -> l.len | Cat c -> c.len
+let is_empty m = length m = 0
+
+let leaf data off len =
+  if len = 0 then Empty else Leaf { data; off; len }
+
+let of_string s = leaf s 0 (String.length s)
+
+let fill n c =
+  if n < 0 then invalid_arg "Msg.fill";
+  if n = 0 then Empty
+  else begin
+    (* Share one modest chunk across the whole message so that large
+       test payloads do not allocate their full size. *)
+    let chunk_len = min n 4096 in
+    let chunk = String.make chunk_len c in
+    let rec build remaining =
+      if remaining <= chunk_len then leaf chunk 0 remaining
+      else
+        let half = remaining / 2 in
+        let left = build half and right = build (remaining - half) in
+        Cat { left; right; len = remaining }
+    in
+    build n
+  end
+
+let append a b =
+  match (a, b) with
+  | Empty, m | m, Empty -> m
+  | _ -> Cat { left = a; right = b; len = length a + length b }
+
+let push m h = append (of_string h) m
+
+(* Fold over the leaf substrings of [m] in order. *)
+let rec fold_leaves f acc = function
+  | Empty -> acc
+  | Leaf l -> f acc l.data l.off l.len
+  | Cat c -> fold_leaves f (fold_leaves f acc c.left) c.right
+
+let to_string m =
+  let buf = Buffer.create (length m) in
+  let add () data off len = Buffer.add_substring buf data off len in
+  fold_leaves add () m;
+  Buffer.contents buf
+
+let rec take m n =
+  if n <= 0 then Empty
+  else
+    match m with
+    | Empty -> Empty
+    | Leaf l -> if n >= l.len then m else leaf l.data l.off n
+    | Cat c ->
+        let ll = length c.left in
+        if n <= ll then take c.left n
+        else if n >= c.len then m
+        else append c.left (take c.right (n - ll))
+
+let rec drop m n =
+  if n <= 0 then m
+  else
+    match m with
+    | Empty -> Empty
+    | Leaf l -> if n >= l.len then Empty else leaf l.data (l.off + n) (l.len - n)
+    | Cat c ->
+        let ll = length c.left in
+        if n >= c.len then Empty
+        else if n >= ll then drop c.right (n - ll)
+        else append (drop c.left n) c.right
+
+let split m n =
+  if n < 0 || n > length m then invalid_arg "Msg.split";
+  (take m n, drop m n)
+
+let sub m off len =
+  if off < 0 || len < 0 || off + len > length m then invalid_arg "Msg.sub";
+  take (drop m off) len
+
+let pop m n =
+  if n < 0 || length m < n then None
+  else
+    let hdr, rest = split m n in
+    Some (to_string hdr, rest)
+
+let equal a b = length a = length b && String.equal (to_string a) (to_string b)
+
+let map_byte i f m =
+  if i < 0 || i >= length m then invalid_arg "Msg.map_byte";
+  let before, rest = split m i in
+  let byte, after = split rest 1 in
+  let c = f (to_string byte).[0] in
+  append before (append (of_string (String.make 1 c)) after)
+
+let pp fmt m =
+  let s = to_string m in
+  let prefix_len = min 16 (String.length s) in
+  let hex = Buffer.create (prefix_len * 2) in
+  String.iter
+    (fun c -> Buffer.add_string hex (Printf.sprintf "%02x" (Char.code c)))
+    (String.sub s 0 prefix_len);
+  Format.fprintf fmt "<msg len=%d %s%s>" (length m) (Buffer.contents hex)
+    (if String.length s > prefix_len then "..." else "")
+
+let pp_hex fmt m =
+  let s = to_string m in
+  String.iteri
+    (fun i c ->
+      if i > 0 && i mod 16 = 0 then Format.pp_print_newline fmt ();
+      Format.fprintf fmt "%02x " (Char.code c))
+    s

@@ -1,0 +1,70 @@
+(** Message objects.
+
+    The x-kernel treats a message as a stack: protocols [push] headers
+    onto the front on the way down and [pop] them off on the way up
+    (section 2).  Messages here are immutable cords (concatenation
+    trees), which gives the three properties the paper's infrastructure
+    relies on:
+
+    - O(1) length ("the x-kernel provides an inexpensive operation for
+      determining the length of a given message" — VIP's push is a
+      single length test);
+    - cheap header push without copying the body (the paper's
+      pre-allocated header buffer discipline, section 5 "Potential
+      Pitfalls");
+    - multiple protocols may retain references to pieces of the same
+      message (footnote 1: FRAGMENT keeps a copy of the fragments while
+      CHANNEL retains the whole message), which immutability provides
+      for free. *)
+
+type t
+
+val empty : t
+
+val of_string : string -> t
+(** [of_string s] is a single-leaf message with body [s]. *)
+
+val fill : int -> char -> t
+(** [fill n c] is an [n]-byte message of repeated [c]; bulk-transfer
+    test payloads.  Shares one chunk internally, so 16 KB test messages
+    are cheap. *)
+
+val length : t -> int
+(** O(1). *)
+
+val is_empty : t -> bool
+
+val append : t -> t -> t
+(** [append a b] is the message [a] followed by [b]; O(1). *)
+
+val push : t -> string -> t
+(** [push m h] pushes header bytes [h] onto the front of [m]; O(1). *)
+
+val pop : t -> int -> (string * t) option
+(** [pop m n] strips the first [n] bytes off [m], returning them
+    together with the rest; [None] if [m] is shorter than [n].  This is
+    a protocol popping its header on the way up. *)
+
+val split : t -> int -> t * t
+(** [split m n] is [(take n m, drop n m)].  Used by fragmentation
+    layers; both halves share structure with [m].  Raises
+    [Invalid_argument] if [n] is negative or greater than [length m]. *)
+
+val sub : t -> int -> int -> t
+(** [sub m off len] is the [len]-byte slice of [m] starting at [off]. *)
+
+val to_string : t -> string
+(** Linearize.  O(n); used at the wire boundary and in tests. *)
+
+val equal : t -> t -> bool
+(** Content equality (ignores tree shape). *)
+
+val map_byte : int -> (char -> char) -> t -> t
+(** [map_byte i f m] replaces byte [i] with [f] of itself — the wire's
+    corruption injector.  Raises [Invalid_argument] if out of range. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints length and a short hex prefix; for traces and test output. *)
+
+val pp_hex : Format.formatter -> t -> unit
+(** Full hex dump. *)

@@ -1,0 +1,82 @@
+type t = {
+  nd_host : Host.t;
+  wire : Wire.t;
+  mutable tap : Wire.attachment option;
+  txq : Msg.t Queue.t;
+  txq_items : Sim.Semaphore.sem;
+  mutable handler : (Msg.t -> unit) option;
+  mutable promiscuous : bool;
+}
+
+let eth_header_bytes = 14
+
+let peek_dst msg =
+  if Msg.length msg < 6 then None
+  else
+    let s = Msg.to_string (Msg.sub msg 0 6) in
+    let v = ref 0 in
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+    Some (Addr.Eth.v !v)
+
+let host dev = dev.nd_host
+
+let receive dev frame =
+  (* Hardware address filter: frames for other stations cost nothing. *)
+  let mine =
+    dev.promiscuous
+    ||
+    match peek_dst frame with
+    | Some dst ->
+        Addr.Eth.equal dst dev.nd_host.Host.eth || Addr.Eth.is_broadcast dst
+    | None -> false
+  in
+  if mine then begin
+    Trace.packet
+      (Machine.sim dev.nd_host.Host.mach)
+      ~host:dev.nd_host.Host.name ~proto:"dev" ~dir:`Recv frame;
+    Machine.charge dev.nd_host.Host.mach [ Machine.Interrupt (Msg.length frame) ];
+    match dev.handler with Some h -> h frame | None -> ()
+  end
+
+let create ~host ~wire =
+  let dev =
+    {
+      nd_host = host;
+      wire;
+      tap = None;
+      txq = Queue.create ();
+      txq_items = Sim.Semaphore.create (Wire.sim wire) 0;
+      handler = None;
+      promiscuous = false;
+    }
+  in
+  dev.tap <- Some (Wire.attach wire ~recv:(fun frame -> receive dev frame));
+  let sim = Wire.sim wire in
+  (* Transmitter fiber: drains the queue for the life of the run. *)
+  let rec tx_loop () =
+    Sim.Semaphore.p dev.txq_items;
+    let frame = Queue.take dev.txq in
+    (match dev.tap with
+    | Some tap -> Wire.transmit wire ~from:tap frame
+    | None -> assert false);
+    tx_loop ()
+  in
+  Sim.spawn sim ~name:(host.Host.name ^ ":tx") (fun () ->
+      (* The transmitter parks on the semaphore between frames; when the
+         event queue otherwise drains, [Sim.run] simply ends with this
+         fiber blocked, which is fine. *)
+      tx_loop ());
+  dev
+
+let transmit dev frame =
+  Trace.packet
+    (Machine.sim dev.nd_host.Host.mach)
+    ~host:dev.nd_host.Host.name ~proto:"dev" ~dir:`Send frame;
+  Machine.charge dev.nd_host.Host.mach
+    [ Machine.Device_send (Msg.length frame) ];
+  Queue.add frame dev.txq;
+  Sim.Semaphore.v dev.txq_items
+
+let set_handler dev h = dev.handler <- Some h
+let set_promiscuous dev b = dev.promiscuous <- b
+let tx_queue_length dev = Queue.length dev.txq

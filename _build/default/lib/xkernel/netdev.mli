@@ -1,0 +1,40 @@
+(** Ethernet device driver.
+
+    One per (host, wire) pair.  Transmission is asynchronous: the
+    calling shepherd process pays only the driver cost
+    ([Device_send]) and the frame is queued for a transmitter fiber, so
+    protocol processing of the next fragment overlaps serialization of
+    the previous one — the pipelining that lets the throughput tests
+    "drive the ethernet controller at its maximum rate" (section 4.1).
+
+    On the receive side the device filters destination addresses in
+    "hardware" (free), then dispatches an interrupt: a fresh shepherd
+    fiber charges [Interrupt] and hands the frame to the handler the ETH
+    protocol registered. *)
+
+type t
+
+val create : host:Host.t -> wire:Wire.t -> t
+(** Attaches to [wire]; the device's unicast address is the host's
+    ethernet address. *)
+
+val host : t -> Host.t
+
+val transmit : t -> Msg.t -> unit
+(** [transmit dev frame] queues a complete ethernet frame (header
+    already pushed).  Must run in a fiber. *)
+
+val set_handler : t -> (Msg.t -> unit) -> unit
+(** Install the receive handler (the ETH protocol's entry point). *)
+
+val set_promiscuous : t -> bool -> unit
+(** Accept frames addressed to other stations too (test taps). *)
+
+val eth_header_bytes : int
+(** 14: destination (6) + source (6) + type (2). *)
+
+val peek_dst : Msg.t -> Addr.Eth.t option
+(** Read the destination address of a frame without consuming it;
+    [None] for runt frames. *)
+
+val tx_queue_length : t -> int

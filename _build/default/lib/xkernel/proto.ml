@@ -1,0 +1,91 @@
+type t = {
+  p_name : string;
+  p_host : Host.t;
+  virtual_ : bool;
+  mutable p_below : t list;
+  mutable p_ops : ops option;
+}
+
+and ops = {
+  open_ : upper:t -> Part.t -> session;
+  open_enable : upper:t -> Part.t -> unit;
+  open_done : upper:t -> Part.t -> session;
+  demux : lower:session -> Msg.t -> unit;
+  p_control : Control.req -> Control.reply;
+}
+
+and session = { s_name : string; s_proto : t; s_ops : session_ops }
+
+and session_ops = {
+  push : Msg.t -> unit;
+  pop : Msg.t -> unit;
+  s_control : Control.req -> Control.reply;
+  close : unit -> unit;
+}
+
+let create ~host ~name ?(virtual_ = false) () =
+  { p_name = name; p_host = host; virtual_; p_below = []; p_ops = None }
+
+let set_ops p ops =
+  match p.p_ops with
+  | Some _ -> invalid_arg ("Proto.set_ops: ops already set for " ^ p.p_name)
+  | None -> p.p_ops <- Some ops
+
+let name p = p.p_name
+let host p = p.p_host
+let is_virtual p = p.virtual_
+let declare_below p below = p.p_below <- below
+let below p = p.p_below
+
+let ops p =
+  match p.p_ops with
+  | Some ops -> ops
+  | None -> invalid_arg ("Proto: no ops installed for " ^ p.p_name)
+
+let open_ p ~upper part = (ops p).open_ ~upper part
+let open_enable p ~upper part = (ops p).open_enable ~upper part
+let open_done p ~upper part = (ops p).open_done ~upper part
+let control p req = (ops p).p_control req
+
+let crossing_op p =
+  if p.virtual_ then Machine.Virtual_op else Machine.Layer_crossing
+
+let deliver p ~lower msg =
+  Machine.charge p.p_host.Host.mach [ crossing_op p ];
+  (ops p).demux ~lower msg
+
+let make_session p ?name s_ops =
+  { s_name = Option.value name ~default:p.p_name; s_proto = p; s_ops }
+
+let session_name s = s.s_name
+let session_proto s = s.s_proto
+
+let push s msg =
+  Machine.charge s.s_proto.p_host.Host.mach [ crossing_op s.s_proto ];
+  s.s_ops.push msg
+
+let pop s msg = s.s_ops.pop msg
+let session_control s req = s.s_ops.s_control req
+let close s = s.s_ops.close ()
+
+let rec control_via handlers req =
+  match handlers with
+  | [] -> Control.Unsupported
+  | h :: rest -> (
+      match h req with
+      | Control.Unsupported -> control_via rest req
+      | reply -> reply)
+
+let pp_graph fmt tops =
+  let seen = Hashtbl.create 16 in
+  let rec render indent p =
+    let tag = if p.virtual_ then " (virtual)" else "" in
+    if Hashtbl.mem seen (p.p_name, indent) then
+      Format.fprintf fmt "%s%s%s [shared]@." indent p.p_name tag
+    else begin
+      Hashtbl.add seen (p.p_name, indent) ();
+      Format.fprintf fmt "%s%s%s@." indent p.p_name tag;
+      List.iter (render (indent ^ "  ")) p.p_below
+    end
+  in
+  List.iter (render "") tops

@@ -1,0 +1,185 @@
+exception Not_in_fiber
+exception Stalled of string
+
+type event = {
+  time : float;
+  seq : int;
+  mutable cancelled : bool;
+  thunk : unit -> unit;
+}
+
+module Pq = Map.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+type t = {
+  mutable now : float;
+  mutable queue : event Pq.t;
+  mutable next_seq : int;
+  mutable processed : int;
+  max_events : int;
+}
+
+let create ?(max_events = 10_000_000) () =
+  { now = 0.; queue = Pq.empty; next_seq = 0; processed = 0; max_events }
+
+let now t = t.now
+let pending t = Pq.cardinal t.queue
+
+let schedule_at t time thunk =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let ev = { time; seq; cancelled = false; thunk } in
+  t.queue <- Pq.add (time, seq) ev t.queue;
+  ev
+
+let cancel ev =
+  if ev.cancelled then false
+  else begin
+    ev.cancelled <- true;
+    true
+  end
+
+(* A fiber suspends by handing its resumption to [register]; whoever
+   holds the resumption calls it exactly once to schedule the fiber's
+   continuation as an immediate event. *)
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let run_fiber t f =
+  let open Effect.Deep in
+  let handler =
+    {
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  register (fun () ->
+                      ignore (schedule_at t t.now (fun () -> continue k ()))))
+          | _ -> None);
+    }
+  in
+  try_with f () handler
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled (Suspend _) -> raise Not_in_fiber
+
+let spawn t ?name f =
+  let run () =
+    try run_fiber t f
+    with Not_in_fiber ->
+      (* Preserve the fiber's name in the backtrace-less sim world. *)
+      failwith
+        (Printf.sprintf "fiber %s: blocking operation escaped its fiber"
+           (Option.value name ~default:"<anon>"))
+  in
+  ignore (schedule_at t t.now run)
+
+let delay t d =
+  if d < 0. then invalid_arg "Sim.delay: negative delay";
+  if d = 0. then ()
+  else
+    suspend (fun resume ->
+        ignore (schedule_at t (t.now +. d) (fun () -> resume ())))
+
+let yield t = suspend (fun resume -> ignore (schedule_at t t.now resume))
+
+let after t d f =
+  if d < 0. then invalid_arg "Sim.after: negative delay";
+  schedule_at t (t.now +. d) (fun () -> run_fiber t f)
+
+let run ?until t =
+  let rec loop () =
+    match Pq.min_binding_opt t.queue with
+    | None -> ()
+    | Some ((time, seq), ev) -> (
+        match until with
+        | Some u when time > u -> t.now <- u
+        | _ ->
+            t.queue <- Pq.remove (time, seq) t.queue;
+            if not ev.cancelled then begin
+              t.processed <- t.processed + 1;
+              if t.processed > t.max_events then
+                raise
+                  (Stalled
+                     (Printf.sprintf "more than %d events processed"
+                        t.max_events));
+              t.now <- time;
+              ev.thunk ()
+            end;
+            loop ())
+  in
+  loop ()
+
+module Semaphore = struct
+  type sem = {
+    sim : t;
+    mutable cnt : int;
+    blocked : (unit -> unit) Queue.t;
+  }
+
+  let create sim cnt =
+    if cnt < 0 then invalid_arg "Semaphore.create";
+    { sim; cnt; blocked = Queue.create () }
+
+  let p s =
+    if s.cnt > 0 then s.cnt <- s.cnt - 1
+    else suspend (fun resume -> Queue.add resume s.blocked)
+
+  let v s =
+    match Queue.take_opt s.blocked with
+    | Some resume -> resume ()
+    | None -> s.cnt <- s.cnt + 1
+
+  let count s = s.cnt
+  let waiters s = Queue.length s.blocked
+end
+
+module Ivar = struct
+  type 'a state = Unset of (unit -> unit) Queue.t | Set of 'a
+  type 'a ivar = { iv_sim : t; mutable state : 'a state }
+
+  let create sim = { iv_sim = sim; state = Unset (Queue.create ()) }
+
+  let fill iv x =
+    match iv.state with
+    | Set _ -> invalid_arg "Ivar.fill: already filled"
+    | Unset waiters ->
+        iv.state <- Set x;
+        Queue.iter (fun resume -> resume ()) waiters
+
+  let is_filled iv = match iv.state with Set _ -> true | Unset _ -> false
+
+  let read iv =
+    match iv.state with
+    | Set x -> x
+    | Unset waiters -> (
+        suspend (fun resume -> Queue.add resume waiters);
+        match iv.state with
+        | Set x -> x
+        | Unset _ -> assert false)
+
+  let read_timeout iv d =
+    match iv.state with
+    | Set x -> Some x
+    | Unset waiters ->
+        suspend (fun resume ->
+            let fired = ref false in
+            let once () =
+              if not !fired then begin
+                fired := true;
+                resume ()
+              end
+            in
+            let ev = after iv.iv_sim d once in
+            Queue.add
+              (fun () ->
+                if cancel ev then ();
+                once ())
+              waiters);
+        (match iv.state with Set x -> Some x | Unset _ -> None)
+end

@@ -1,0 +1,103 @@
+(** Discrete-event simulator with light-weight processes.
+
+    The x-kernel runs protocols with shepherd processes, semaphores and
+    an event (timer) library.  This module reproduces that execution
+    model on a virtual clock: processes are OCaml 5 effect-based fibers
+    that can [delay], block on {!Semaphore}s and wait on {!Ivar}s; the
+    scheduler advances virtual time from event to event.
+
+    All blocking operations ([delay], [Semaphore.p], [Ivar.read], …)
+    must be called from inside a fiber started with {!spawn} (or from a
+    timer callback, which runs as a fiber); calling them elsewhere
+    raises [Not_in_fiber]. *)
+
+type t
+(** A simulator instance: virtual clock plus pending-event queue. *)
+
+exception Not_in_fiber
+(** Raised when a blocking operation is performed outside any fiber. *)
+
+exception Stalled of string
+(** Raised by {!run} when [max_events] is exceeded — a runaway-protocol
+    backstop for tests. *)
+
+val create : ?max_events:int -> unit -> t
+(** [create ()] is a fresh simulator at time 0.  [max_events] (default
+    10 million) bounds the total number of events one {!run} may
+    process. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn sim f] schedules a new fiber running [f] at the current
+    virtual time.  Exceptions escaping [f] are logged and re-raised out
+    of {!run}. *)
+
+val delay : t -> float -> unit
+(** [delay sim d] suspends the calling fiber for [d] virtual seconds. *)
+
+val yield : t -> unit
+(** [yield sim] reschedules the calling fiber at the current time,
+    letting other ready fibers run first. *)
+
+type event
+(** A cancellable scheduled event — the x-kernel event library's
+    [evSchedule] handle. *)
+
+val after : t -> float -> (unit -> unit) -> event
+(** [after sim d f] schedules [f] to run (as a fiber) [d] seconds from
+    now.  Timer callbacks may themselves block. *)
+
+val cancel : event -> bool
+(** [cancel ev] cancels [ev]; returns [false] if it already ran (or was
+    already cancelled).  The x-kernel's [evCancel]. *)
+
+val run : ?until:float -> t -> unit
+(** [run sim] processes events in time order until the queue is empty
+    (or virtual time would pass [until]).  Re-raises the first exception
+    that escaped a fiber. *)
+
+val pending : t -> int
+(** Number of events still queued (cancelled events may be counted). *)
+
+(** Counting semaphores — the x-kernel's process-synchronisation
+    primitive.  The paper attributes CHANNEL's cost to exactly this
+    synchronisation (section 4.2). *)
+module Semaphore : sig
+  type sem
+
+  val create : t -> int -> sem
+  (** [create sim n] is a semaphore with initial count [n]. *)
+
+  val p : sem -> unit
+  (** Decrement; blocks the calling fiber while the count is zero.
+      Waiters are released in FIFO order. *)
+
+  val v : sem -> unit
+  (** Increment, waking one waiter if any.  May be called from anywhere
+      (including outside fibers). *)
+
+  val count : sem -> int
+  (** Current count (never negative; blocked waiters don't go below 0). *)
+
+  val waiters : sem -> int
+end
+
+(** Write-once cells: how a client fiber waits for its RPC reply. *)
+module Ivar : sig
+  type 'a ivar
+
+  val create : t -> 'a ivar
+
+  val fill : 'a ivar -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val is_filled : 'a ivar -> bool
+
+  val read : 'a ivar -> 'a
+  (** Blocks the calling fiber until filled. *)
+
+  val read_timeout : 'a ivar -> float -> 'a option
+  (** [read_timeout iv d] waits at most [d] seconds; [None] on timeout. *)
+end

@@ -1,0 +1,22 @@
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let add t name n =
+  let cur = Option.value (Hashtbl.find_opt t name) ~default:0 in
+  Hashtbl.replace t name (cur + n)
+
+let incr t name = add t name 1
+let get t name = Option.value (Hashtbl.find_opt t name) ~default:0
+let reset = Hashtbl.reset
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let control t = function
+  | Control.Get_stat name -> Control.R_int (get t name)
+  | Control.Flush_cache ->
+      reset t;
+      Control.R_unit
+  | _ -> Control.Unsupported

@@ -1,0 +1,20 @@
+(** Named event counters.
+
+    Every protocol keeps a counter table exported through
+    [control (Get_stat name)]; tests and benches read them to assert
+    packet counts (e.g. "FRAGMENT handles 16 messages but CHANNEL and
+    SELECT handle only one", section 4.2). *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+val reset : t -> unit
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val control : t -> Control.req -> Control.reply
+(** Handles [Get_stat] and [Flush_cache] (reset); [Unsupported]
+    otherwise — designed to sit last in a {!Proto.control_via} chain. *)

@@ -1,0 +1,29 @@
+let src = Logs.Src.create "xkernel" ~doc:"x-kernel protocol tracing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let reporter_installed = ref false
+
+let set_level level =
+  if not !reporter_installed then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    reporter_installed := true
+  end;
+  Logs.Src.set_level src level
+
+let stamp sim = Sim.now sim *. 1e3
+
+let packet sim ~host ~proto ~dir msg =
+  let arrow = match dir with `Send -> "->" | `Recv -> "<-" in
+  Log.debug (fun m ->
+      m "[%8.3fms] %s %s %s %a" (stamp sim) host proto arrow Msg.pp msg)
+
+let debugf sim ~host fmt =
+  Format.kasprintf
+    (fun s -> Log.debug (fun m -> m "[%8.3fms] %s %s" (stamp sim) host s))
+    fmt
+
+let infof sim ~host fmt =
+  Format.kasprintf
+    (fun s -> Log.info (fun m -> m "[%8.3fms] %s %s" (stamp sim) host s))
+    fmt

@@ -1,0 +1,20 @@
+(** Structured tracing for protocol debugging.
+
+    Thin wrapper over [logs] with one source per subsystem and helpers
+    that include virtual timestamps.  Disabled by default; tests and the
+    CLI enable it with {!set_level}. *)
+
+val src : Logs.src
+(** The ["xkernel"] log source. *)
+
+val set_level : Logs.level option -> unit
+(** Enables the default [Fmt] reporter on first call. *)
+
+val packet :
+  Sim.t -> host:string -> proto:string -> dir:[ `Send | `Recv ] ->
+  Msg.t -> unit
+(** [packet sim ~host ~proto ~dir msg] logs one packet event at debug
+    level with the current virtual time. *)
+
+val debugf : Sim.t -> host:string -> ('a, Format.formatter, unit) format -> 'a
+val infof : Sim.t -> host:string -> ('a, Format.formatter, unit) format -> 'a

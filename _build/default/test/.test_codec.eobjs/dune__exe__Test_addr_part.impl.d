@@ -1,0 +1,1 @@
+test/test_addr_part.ml: Addr Alcotest Control Format Host List Option Part Proto QCheck Sim Stats String Tutil Xkernel

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Control Host Msg Netproto Part Proto Rpc Sim Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Codec Gen QCheck String Tutil Xkernel

@@ -1,0 +1,1 @@
+test/test_eth_arp.ml: Addr Alcotest Control Host Msg Netproto Part Proto Sim Tutil Wire Xkernel

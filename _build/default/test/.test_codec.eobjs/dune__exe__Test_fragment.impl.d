@@ -1,0 +1,1 @@
+test/test_fragment.ml: Alcotest Control Gen Host List Msg Netproto Part Proto QCheck Random Rpc Sim String Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_icmp.ml: Alcotest Control Host List Msg Netproto Part Proto Sim Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_ip.ml: Addr Alcotest Control Host List Msg Netproto Part Proto Sim String Tutil Wire Xkernel

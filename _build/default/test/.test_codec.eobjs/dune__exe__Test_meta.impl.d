@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Control Format List Netproto Proto Rpc String Xkernel

@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Char Gen List Msg Option QCheck String Tutil Xkernel

@@ -1,0 +1,1 @@
+test/test_netdev_probe.ml: Addr Alcotest Array Codec Host List Msg Netdev Netproto Option Printf Sim String Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_psync.ml: Alcotest Array List Msg Netproto Psync Rpc Sim Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Host Msg Netproto Option Rpc Sim String Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_sim.ml: Addr Alcotest Event Host List Sim Tutil Xkernel

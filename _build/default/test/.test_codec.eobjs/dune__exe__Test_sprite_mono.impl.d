@@ -1,0 +1,1 @@
+test/test_sprite_mono.ml: Addr Alcotest Control Host Msg Netproto Printf Proto QCheck Rpc Sim Tutil Wire Xkernel

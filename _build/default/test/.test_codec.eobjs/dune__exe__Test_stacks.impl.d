@@ -1,0 +1,1 @@
+test/test_stacks.ml: Alcotest Float List Machine Msg Netproto Printf Random Rpc Tutil Wire Xkernel

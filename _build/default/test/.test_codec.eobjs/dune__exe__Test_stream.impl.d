@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Buffer Gen Host List Msg Netproto QCheck Random Rpc String Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/test_sunrpc.ml: Alcotest Msg Netproto Printf Rpc Sim Tutil Wire Xkernel

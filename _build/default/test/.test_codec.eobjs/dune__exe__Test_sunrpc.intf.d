@@ -1,0 +1,1 @@
+test/test_sunrpc.mli:

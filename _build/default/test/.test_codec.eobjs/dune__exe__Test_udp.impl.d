@@ -1,0 +1,1 @@
+test/test_udp.ml: Alcotest Control Host Msg Netproto Part Proto Tutil Wire Xkernel

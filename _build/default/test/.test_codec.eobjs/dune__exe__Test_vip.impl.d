@@ -1,0 +1,1 @@
+test/test_vip.ml: Addr Alcotest Control Format Host List Msg Netproto Part Printf Proto Sim String Tutil Xkernel

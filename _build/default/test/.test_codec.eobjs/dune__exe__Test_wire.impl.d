@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest List Msg Sim String Tutil Wire Xkernel

@@ -1,0 +1,1 @@
+test/tutil.ml: Addr Alcotest Char Control Msg Netproto Proto QCheck QCheck_alcotest Rpc Sim String Xkernel

@@ -1,0 +1,289 @@
+open Xkernel
+module World = Netproto.World
+module Fragment = Rpc.Fragment
+module Channel = Rpc.Channel
+
+let proto_num = 90
+
+(* CHANNEL-FRAGMENT-VIP with a counting echo server above CHANNEL. *)
+let setup ?(server = fun msg -> msg) w =
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let mk (n : World.node) =
+    let f = Fragment.create ~host:n.World.host ~lower:(Netproto.Vip.proto n.World.vip) () in
+    Channel.create ~host:n.World.host ~lower:(Fragment.proto f) ()
+  in
+  let ch0 = mk n0 and ch1 = mk n1 in
+  let executions = ref 0 in
+  let up = Proto.create ~host:n1.World.host ~name:"ECHO" () in
+  Proto.set_ops up
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "echo");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "echo");
+      open_done = (fun ~upper:_ _ -> invalid_arg "echo");
+      demux =
+        (fun ~lower msg ->
+          incr executions;
+          Proto.push lower (server msg));
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  Proto.open_enable (Channel.proto ch1) ~upper:up
+    (Part.v ~local:[ Part.Ip_proto proto_num ] ());
+  let sess chan =
+    Tutil.run_in w (fun () ->
+        Proto.open_ (Channel.proto ch0)
+          ~upper:(Proto.create ~host:n0.World.host ~name:"NULL" ())
+          (Part.v
+             ~local:
+               [
+                 Part.Ip n0.World.host.Host.ip;
+                 Part.Ip_proto proto_num;
+                 Part.Channel chan;
+               ]
+             ~remotes:[ [ Part.Ip n1.World.host.Host.ip; Part.Ip_proto proto_num ] ]
+             ()))
+  in
+  (ch0, ch1, sess, executions)
+
+let call w ch sess msg = Tutil.run_in w (fun () -> Channel.call ch sess msg)
+
+let basic_transaction () =
+  let w = World.create () in
+  let ch0, _, sess, execs = setup w in
+  let s = sess 0 in
+  (match call w ch0 s (Msg.of_string "ping") with
+  | Ok reply -> Tutil.check_str "echo" "ping" (Msg.to_string reply)
+  | Error e -> Alcotest.failf "failed: %s" (Rpc.Rpc_error.to_string e));
+  Tutil.check_int "executed once" 1 !execs
+
+let implicit_ack_no_extra_packets () =
+  (* In the common case no acknowledgement packets exist: n calls
+     produce exactly n requests + n replies at the channel layer. *)
+  let w = World.create () in
+  let ch0, ch1, sess, _ = setup w in
+  let s = sess 0 in
+  for i = 1 to 5 do
+    ignore (Tutil.ok_exn "call" (call w ch0 s (Msg.of_string (string_of_int i))))
+  done;
+  Tutil.check_int "no retransmits" 0 (Tutil.stat (Channel.proto ch0) "retransmit");
+  Tutil.check_int "no explicit acks" 0 (Tutil.stat (Channel.proto ch1) "ack-tx");
+  Tutil.check_int "five requests" 5 (Tutil.stat (Channel.proto ch0) "req-tx");
+  Tutil.check_int "five replies" 5 (Tutil.stat (Channel.proto ch1) "reply-tx")
+
+let sequential_calls_reuse_channel () =
+  let w = World.create () in
+  let ch0, _, sess, execs = setup w in
+  let s = sess 0 in
+  for _ = 1 to 10 do
+    ignore (Tutil.ok_exn "call" (call w ch0 s Msg.empty))
+  done;
+  Tutil.check_int "all executed" 10 !execs
+
+let at_most_once_under_duplication () =
+  let w = World.create () in
+  let ch0, _ch1, sess, execs = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  Wire.set_fault_hook w.World.wire (Some (fun _ _ -> [ Wire.Duplicate ]));
+  for _ = 1 to 5 do
+    ignore (Tutil.ok_exn "dup call" (call w ch0 s (Msg.of_string "x")))
+  done;
+  Tutil.run_in w (fun () -> Sim.delay w.World.sim 0.5);
+  Tutil.check_int "executed exactly once per call" 6 !execs;
+  (* The duplicates were absorbed below: either FRAGMENT's
+     recently-completed cache or CHANNEL's duplicate filter saw them. *)
+  Alcotest.(check bool) "replies survived duplication" true
+    (Tutil.stat (Channel.proto ch0) "reply-rx" >= 6)
+
+let lost_request_retransmitted () =
+  let w = World.create () in
+  let ch0, _, sess, execs = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  let dropped = ref false in
+  Wire.set_fault_hook w.World.wire
+    (Some
+       (fun _ _ ->
+         if !dropped then []
+         else begin
+           dropped := true;
+           [ Wire.Drop ]
+         end));
+  (match call w ch0 s (Msg.of_string "retry me") with
+  | Ok r -> Tutil.check_str "echoed after retry" "retry me" (Msg.to_string r)
+  | Error e -> Alcotest.failf "failed: %s" (Rpc.Rpc_error.to_string e));
+  Tutil.check_int "one retransmission" 1 (Tutil.stat (Channel.proto ch0) "retransmit");
+  Tutil.check_int "executed once" 2 !execs
+
+let lost_reply_not_reexecuted () =
+  (* The reply is lost; the client retransmits; the server answers from
+     its reply cache without executing again — at-most-once. *)
+  let w = World.create () in
+  let ch0, ch1, sess, execs = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  let armed = ref true in
+  let count = ref 0 in
+  Wire.set_fault_hook w.World.wire
+    (Some
+       (fun _ _ ->
+         if not !armed then []
+         else begin
+           incr count;
+           if !count = 2 then begin
+             armed := false;
+             [ Wire.Drop ]
+           end
+           else []
+         end));
+  (match call w ch0 s (Msg.of_string "once only") with
+  | Ok r -> Tutil.check_str "got cached reply" "once only" (Msg.to_string r)
+  | Error e -> Alcotest.failf "failed: %s" (Rpc.Rpc_error.to_string e));
+  Tutil.check_int "executed once despite reply loss" 2 !execs;
+  Tutil.check_int "cached reply used" 1
+    (Tutil.stat (Channel.proto ch1) "cached-reply-tx")
+
+let slow_server_explicit_ack () =
+  let w = World.create () in
+  let slow msg =
+    Sim.delay w.World.sim 0.08;
+    msg
+  in
+  let ch0, ch1, sess, execs = setup ~server:slow w in
+  let s = sess 0 in
+  (match call w ch0 s (Msg.of_string "slow") with
+  | Ok r -> Tutil.check_str "eventually answered" "slow" (Msg.to_string r)
+  | Error e -> Alcotest.failf "failed: %s" (Rpc.Rpc_error.to_string e));
+  Tutil.check_int "executed once" 1 !execs;
+  Alcotest.(check bool) "explicit ack sent" true
+    (Tutil.stat (Channel.proto ch1) "ack-tx" >= 1);
+  Alcotest.(check bool) "client saw the ack" true
+    (Tutil.stat (Channel.proto ch0) "ack-rx" >= 1)
+
+let timeout_when_server_gone () =
+  let w = World.create () in
+  let ch0, _, sess, _ = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  Wire.set_fault_hook w.World.wire (Some (fun _ _ -> [ Wire.Drop ]));
+  let result = call w ch0 s (Msg.of_string "void") in
+  Alcotest.(check bool) "times out" true (result = Error Rpc.Rpc_error.Timeout);
+  Tutil.check_int "five retries" 5 (Tutil.stat (Channel.proto ch0) "retransmit")
+
+let multi_fragment_timeout_is_longer () =
+  (* The step function: a 16-fragment request must not spuriously
+     retransmit even though its transfer outlasts the single-fragment
+     timeout. *)
+  let w = World.create () in
+  let ch0, _, sess, _ = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  ignore (Tutil.ok_exn "16k call" (call w ch0 s (Msg.fill 16000 'x')));
+  Tutil.check_int "no spurious retransmit" 0
+    (Tutil.stat (Channel.proto ch0) "retransmit")
+
+let reboot_detected () =
+  let w = World.create () in
+  let n1 = World.node w 1 in
+  let ch0, _, sess, _ = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "before" (call w ch0 s (Msg.of_string "a")));
+  let fired = ref false in
+  Wire.set_fault_hook w.World.wire
+    (Some
+       (fun _ _ ->
+         if !fired then []
+         else begin
+           fired := true;
+           Host.reboot n1.World.host;
+           [ Wire.Drop ]
+         end));
+  let result = call w ch0 s (Msg.of_string "during") in
+  Alcotest.(check bool) "reboot surfaces" true
+    (result = Error Rpc.Rpc_error.Rebooted)
+
+let client_reboot_resets_server_state () =
+  let w = World.create () in
+  let n0 = World.node w 0 in
+  let ch0, _, sess, execs = setup w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "a" (call w ch0 s (Msg.of_string "a")));
+  ignore (Tutil.ok_exn "b" (call w ch0 s (Msg.of_string "b")));
+  Host.reboot n0.World.host;
+  let s' = sess 1 in
+  ignore (Tutil.ok_exn "after reboot" (call w ch0 s' (Msg.of_string "c")));
+  Tutil.check_int "all executed" 3 !execs
+
+let concurrent_channels () =
+  let w = World.create () in
+  let ch0, _, sess, execs = setup w in
+  let s0 = sess 0 and s1 = sess 1 and s2 = sess 2 in
+  let results = ref 0 in
+  World.spawn w (fun () ->
+      ignore (Tutil.ok_exn "c0" (Channel.call ch0 s0 (Msg.fill 3000 'a')));
+      incr results);
+  World.spawn w (fun () ->
+      ignore (Tutil.ok_exn "c1" (Channel.call ch0 s1 (Msg.fill 3000 'b')));
+      incr results);
+  World.spawn w (fun () ->
+      ignore (Tutil.ok_exn "c2" (Channel.call ch0 s2 Msg.empty));
+      incr results);
+  World.run w;
+  Tutil.check_int "all three completed" 3 !results;
+  Tutil.check_int "three executions" 3 !execs
+
+let busy_channel_rejected () =
+  let w = World.create () in
+  let ch0, _, sess, _ = setup w in
+  let s = sess 0 in
+  let raised = ref false in
+  World.spawn w (fun () -> ignore (Channel.call ch0 s (Msg.of_string "first")));
+  World.spawn w (fun () ->
+      match Channel.call ch0 s (Msg.of_string "second") with
+      | exception Invalid_argument _ -> raised := true
+      | _ -> ());
+  World.run w;
+  Alcotest.(check bool) "busy channel rejected" true !raised
+
+let channel_out_of_range () =
+  let w = World.create () in
+  let _, _, sess, _ = setup w in
+  Alcotest.(check bool) "channel id bounded" true
+    (match sess 99 with
+    | exception Alcotest.Test_error -> true
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "transactions",
+        [
+          Alcotest.test_case "basic echo" `Quick basic_transaction;
+          Alcotest.test_case "implicit ack: no extra packets" `Quick
+            implicit_ack_no_extra_packets;
+          Alcotest.test_case "sequential reuse" `Quick sequential_calls_reuse_channel;
+          Alcotest.test_case "concurrent channels" `Quick concurrent_channels;
+          Alcotest.test_case "busy channel rejected" `Quick busy_channel_rejected;
+          Alcotest.test_case "channel id bounded" `Quick channel_out_of_range;
+        ] );
+      ( "at-most-once",
+        [
+          Alcotest.test_case "duplication on the wire" `Quick
+            at_most_once_under_duplication;
+          Alcotest.test_case "lost request retransmitted" `Quick
+            lost_request_retransmitted;
+          Alcotest.test_case "lost reply: cached, not re-executed" `Quick
+            lost_reply_not_reexecuted;
+          Alcotest.test_case "client reboot resets server" `Quick
+            client_reboot_resets_server_state;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "slow server: explicit ack" `Quick
+            slow_server_explicit_ack;
+          Alcotest.test_case "timeout when server gone" `Quick timeout_when_server_gone;
+          Alcotest.test_case "step-function timeout" `Quick
+            multi_fragment_timeout_is_longer;
+          Alcotest.test_case "server reboot detected" `Quick reboot_detected;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+open Xkernel
+
+let roundtrip_fixed () =
+  let w = Codec.W.create () in
+  Codec.W.u8 w 0xab;
+  Codec.W.u16 w 0xbeef;
+  Codec.W.u32 w 0xdeadbeef;
+  Codec.W.u48 w 0x080020010203;
+  Codec.W.bytes w "tail";
+  let r = Codec.R.of_string (Codec.W.contents w) in
+  Tutil.check_int "u8" 0xab (Codec.R.u8 r);
+  Tutil.check_int "u16" 0xbeef (Codec.R.u16 r);
+  Tutil.check_int "u32" 0xdeadbeef (Codec.R.u32 r);
+  Tutil.check_int "u48" 0x080020010203 (Codec.R.u48 r);
+  Tutil.check_str "bytes" "tail" (Codec.R.bytes r 4);
+  Tutil.check_int "remaining" 0 (Codec.R.remaining r)
+
+let truncation () =
+  let r = Codec.R.of_string "\x01" in
+  Tutil.check_int "u8 ok" 1 (Codec.R.u8 r);
+  Alcotest.check_raises "u8 past end" Codec.R.Truncated (fun () ->
+      ignore (Codec.R.u8 r));
+  let r2 = Codec.R.of_string "\x01\x02\x03" in
+  Alcotest.check_raises "u32 short" Codec.R.Truncated (fun () ->
+      ignore (Codec.R.u32 r2))
+
+let masking () =
+  let w = Codec.W.create () in
+  Codec.W.u8 w 0x1ff;
+  Codec.W.u16 w 0x1ffff;
+  let r = Codec.R.of_string (Codec.W.contents w) in
+  Tutil.check_int "u8 masks" 0xff (Codec.R.u8 r);
+  Tutil.check_int "u16 masks" 0xffff (Codec.R.u16 r)
+
+let pos_tracking () =
+  let r = Codec.R.of_string "abcdef" in
+  Tutil.check_int "pos 0" 0 (Codec.R.pos r);
+  ignore (Codec.R.u16 r);
+  Tutil.check_int "pos 2" 2 (Codec.R.pos r);
+  Tutil.check_int "remaining" 4 (Codec.R.remaining r)
+
+let checksum_zero () =
+  Tutil.check_int "empty" 0xffff (Codec.ip_checksum "");
+  Tutil.check_int "zeros" 0xffff (Codec.ip_checksum "\x00\x00\x00\x00")
+
+(* A header whose checksum field holds ip_checksum of the rest sums to
+   0xffff — the standard IP verification identity. *)
+let checksum_verifies () =
+  let base =
+    "\x45\x00\x00\x1c\x00\x01\x00\x00\x20\x11\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02"
+  in
+  let ck = Codec.ip_checksum base in
+  let b = Bytes.of_string base in
+  Bytes.set_uint8 b 10 (ck lsr 8);
+  Bytes.set_uint8 b 11 (ck land 0xff);
+  Tutil.check_int "sums to ffff" 0xffff
+    (Codec.ones_complement_sum (Bytes.to_string b))
+
+let checksum_catches_flip () =
+  let base = Tutil.body 20 in
+  let ck = Codec.ip_checksum base in
+  let corrupt = Bytes.of_string base in
+  Bytes.set_uint8 corrupt 5 (Bytes.get_uint8 corrupt 5 lxor 0xff);
+  Alcotest.(check bool)
+    "different checksum" false
+    (Codec.ip_checksum (Bytes.to_string corrupt) = ck)
+
+let odd_length () =
+  Tutil.check_int "odd == padded even"
+    (Codec.ones_complement_sum "abc")
+    (Codec.ones_complement_sum "abc\x00")
+
+let prop_u32_roundtrip =
+  Tutil.qtest "u32 roundtrip" QCheck.(int_bound 0xffffffff) (fun n ->
+      let w = Codec.W.create () in
+      Codec.W.u32 w n;
+      Codec.R.u32 (Codec.R.of_string (Codec.W.contents w)) = n)
+
+let prop_checksum_identity =
+  Tutil.qtest "checksum identity over even-length strings"
+    QCheck.(string_of_size (Gen.int_range 0 64))
+    (fun s ->
+      let s = if String.length s mod 2 = 0 then s else s ^ "\x00" in
+      let ck = Codec.ip_checksum s in
+      let full =
+        s
+        ^ String.make 1 (Char.chr (ck lsr 8))
+        ^ String.make 1 (Char.chr (ck land 0xff))
+      in
+      Codec.ones_complement_sum full = 0xffff)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "writer-reader",
+        [
+          Alcotest.test_case "fixed roundtrip" `Quick roundtrip_fixed;
+          Alcotest.test_case "truncation raises" `Quick truncation;
+          Alcotest.test_case "values masked to width" `Quick masking;
+          Alcotest.test_case "position tracking" `Quick pos_tracking;
+          prop_u32_roundtrip;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "zero cases" `Quick checksum_zero;
+          Alcotest.test_case "header verifies" `Quick checksum_verifies;
+          Alcotest.test_case "bit flip detected" `Quick checksum_catches_flip;
+          Alcotest.test_case "odd length padding" `Quick odd_length;
+          prop_checksum_identity;
+        ] );
+    ]

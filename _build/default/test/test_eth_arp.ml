@@ -1,0 +1,198 @@
+open Xkernel
+module World = Netproto.World
+
+(* A minimal upper protocol that records what reaches it and can send
+   through a session — used to drive ETH directly. *)
+let sink host =
+  let received = ref [] in
+  let p = Proto.create ~host ~name:"SINK" () in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "sink");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "sink");
+      open_done = (fun ~upper:_ _ -> invalid_arg "sink");
+      demux = (fun ~lower:_ msg -> received := Msg.to_string msg :: !received);
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  (p, received)
+
+let eth_unicast () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let _, got0 = sink n0.World.host in
+  let p1, got1 = sink n1.World.host in
+  Proto.open_enable (Netproto.Eth.proto n1.World.eth) ~upper:p1
+    (Part.v ~local:[ Part.Eth_type 0x7001 ] ());
+  Tutil.run_in w (fun () ->
+      let sess =
+        Proto.open_ (Netproto.Eth.proto n0.World.eth) ~upper:(fst (sink n0.World.host))
+          (Part.v
+             ~local:[ Part.Eth n0.World.host.Host.eth; Part.Eth_type 0x7001 ]
+             ~remotes:[ [ Part.Eth n1.World.host.Host.eth ] ]
+             ())
+      in
+      Proto.push sess (Msg.of_string "hello"));
+  Alcotest.(check (list string)) "delivered to n1" [ "hello" ] !got1;
+  Alcotest.(check (list string)) "not echoed to n0" [] !got0
+
+let eth_type_demux () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let pa, got_a = sink n1.World.host in
+  let pb, got_b = sink n1.World.host in
+  let eth1 = Netproto.Eth.proto n1.World.eth in
+  Proto.open_enable eth1 ~upper:pa (Part.v ~local:[ Part.Eth_type 0x7001 ] ());
+  Proto.open_enable eth1 ~upper:pb (Part.v ~local:[ Part.Eth_type 0x7002 ] ());
+  Tutil.run_in w (fun () ->
+      let open_to typ =
+        Proto.open_ (Netproto.Eth.proto n0.World.eth)
+          ~upper:(fst (sink n0.World.host))
+          (Part.v
+             ~local:[ Part.Eth n0.World.host.Host.eth; Part.Eth_type typ ]
+             ~remotes:[ [ Part.Eth n1.World.host.Host.eth ] ]
+             ())
+      in
+      Proto.push (open_to 0x7001) (Msg.of_string "for-a");
+      Proto.push (open_to 0x7002) (Msg.of_string "for-b"));
+  Alcotest.(check (list string)) "type 7001" [ "for-a" ] !got_a;
+  Alcotest.(check (list string)) "type 7002" [ "for-b" ] !got_b
+
+let eth_unbound_dropped () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  Tutil.run_in w (fun () ->
+      let sess =
+        Proto.open_ (Netproto.Eth.proto n0.World.eth)
+          ~upper:(fst (sink n0.World.host))
+          (Part.v
+             ~local:[ Part.Eth n0.World.host.Host.eth; Part.Eth_type 0x7003 ]
+             ~remotes:[ [ Part.Eth n1.World.host.Host.eth ] ]
+             ())
+      in
+      Proto.push sess (Msg.of_string "nobody-home"));
+  Tutil.check_int "counted unbound" 1
+    (Tutil.stat (Netproto.Eth.proto n1.World.eth) "rx-unbound")
+
+let eth_wrong_dst_filtered () =
+  let w = World.create ~n:3 () in
+  let n0 = World.node w 0 and n1 = World.node w 1 and n2 = World.node w 2 in
+  let p1, got1 = sink n1.World.host in
+  Proto.open_enable (Netproto.Eth.proto n1.World.eth) ~upper:p1
+    (Part.v ~local:[ Part.Eth_type 0x7001 ] ());
+  Tutil.run_in w (fun () ->
+      let sess =
+        Proto.open_ (Netproto.Eth.proto n0.World.eth)
+          ~upper:(fst (sink n0.World.host))
+          (Part.v
+             ~local:[ Part.Eth n0.World.host.Host.eth; Part.Eth_type 0x7001 ]
+             ~remotes:[ [ Part.Eth n1.World.host.Host.eth ] ]
+             ())
+      in
+      Proto.push sess (Msg.of_string "for n1 only"));
+  Alcotest.(check (list string)) "n1 got it" [ "for n1 only" ] !got1;
+  (* n2's ETH never even saw it: the device filtered in hardware. *)
+  Tutil.check_int "n2 eth rx" 0 (Tutil.stat (Netproto.Eth.proto n2.World.eth) "rx")
+
+let arp_resolves () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let resolved =
+    Tutil.run_in w (fun () -> Netproto.Arp.resolve n0.World.arp n1.World.host.Host.ip)
+  in
+  Alcotest.(check bool) "resolved" true
+    (match resolved with
+    | Some e -> Addr.Eth.equal e n1.World.host.Host.eth
+    | None -> false)
+
+let arp_caches () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  Tutil.run_in w (fun () ->
+      ignore (Netproto.Arp.resolve n0.World.arp n1.World.host.Host.ip);
+      ignore (Netproto.Arp.resolve n0.World.arp n1.World.host.Host.ip);
+      ignore (Netproto.Arp.resolve n0.World.arp n1.World.host.Host.ip));
+  Tutil.check_int "one broadcast for three resolves" 1
+    (Tutil.stat (Netproto.Arp.proto n0.World.arp) "request-tx")
+
+let arp_gleans_from_request () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  Tutil.run_in w (fun () ->
+      ignore (Netproto.Arp.resolve n0.World.arp n1.World.host.Host.ip));
+  (* The responder learned the requester's binding from the broadcast. *)
+  Alcotest.(check bool) "n1 knows n0" true
+    (Netproto.Arp.reverse n1.World.arp n0.World.host.Host.eth
+    = Some n0.World.host.Host.ip)
+
+let arp_unresolvable_times_out () =
+  let w = World.create () in
+  let n0 = World.node w 0 in
+  let t0 = ref 0. in
+  let resolved =
+    Tutil.run_in w (fun () ->
+        t0 := Sim.now w.World.sim;
+        Netproto.Arp.resolve n0.World.arp (Addr.Ip.v 10 0 0 99))
+  in
+  Alcotest.(check bool) "no answer" true (resolved = None);
+  Tutil.check_int "three tries" 3
+    (Tutil.stat (Netproto.Arp.proto n0.World.arp) "request-tx");
+  Alcotest.(check bool) "waited for retries" true
+    (Sim.now w.World.sim -. !t0 >= 0.15 -. 1e-9)
+
+let arp_broadcast_special () =
+  let w = World.create () in
+  let n0 = World.node w 0 in
+  let r =
+    Tutil.run_in w (fun () -> Netproto.Arp.resolve n0.World.arp Addr.Ip.broadcast)
+  in
+  Alcotest.(check bool) "broadcast maps to broadcast" true
+    (r = Some Addr.Eth.broadcast)
+
+let arp_control_interface () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  Tutil.run_in w (fun () ->
+      let p = Netproto.Arp.proto n0.World.arp in
+      (match Proto.control p (Control.Resolve n1.World.host.Host.ip) with
+      | Control.R_eth e ->
+          Alcotest.(check bool) "control resolve" true
+            (Addr.Eth.equal e n1.World.host.Host.eth)
+      | _ -> Alcotest.fail "expected R_eth");
+      match Proto.control p (Control.Is_local (Addr.Ip.v 10 0 0 99)) with
+      | Control.R_bool b -> Alcotest.(check bool) "not local" false b
+      | _ -> Alcotest.fail "expected R_bool")
+
+let arp_lossy_retry () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  (* Drop the first broadcast; the retry succeeds. *)
+  Wire.set_fault_hook w.World.wire
+    (Some (fun n _ -> if n = 0 then [ Wire.Drop ] else []));
+  let resolved =
+    Tutil.run_in w (fun () -> Netproto.Arp.resolve n0.World.arp n1.World.host.Host.ip)
+  in
+  Alcotest.(check bool) "resolved on retry" true (resolved <> None);
+  Tutil.check_int "two requests" 2
+    (Tutil.stat (Netproto.Arp.proto n0.World.arp) "request-tx")
+
+let () =
+  Alcotest.run "eth-arp"
+    [
+      ( "eth",
+        [
+          Alcotest.test_case "unicast delivery" `Quick eth_unicast;
+          Alcotest.test_case "type demultiplexing" `Quick eth_type_demux;
+          Alcotest.test_case "unbound type dropped" `Quick eth_unbound_dropped;
+          Alcotest.test_case "hardware dst filter" `Quick eth_wrong_dst_filtered;
+        ] );
+      ( "arp",
+        [
+          Alcotest.test_case "resolve" `Quick arp_resolves;
+          Alcotest.test_case "cache hit" `Quick arp_caches;
+          Alcotest.test_case "gleaning" `Quick arp_gleans_from_request;
+          Alcotest.test_case "timeout after retries" `Quick arp_unresolvable_times_out;
+          Alcotest.test_case "broadcast address" `Quick arp_broadcast_special;
+          Alcotest.test_case "control interface" `Quick arp_control_interface;
+          Alcotest.test_case "retry under loss" `Quick arp_lossy_retry;
+        ] );
+    ]

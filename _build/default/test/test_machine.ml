@@ -1,0 +1,121 @@
+open Xkernel
+
+let p = Machine.xkernel_sun3
+
+let charge_advances_clock () =
+  let sim = Sim.create () in
+  let m = Machine.create sim p in
+  Sim.spawn sim (fun () ->
+      Machine.charge m [ Machine.Busy 0.001; Machine.Busy 0.002 ]);
+  Sim.run sim;
+  Alcotest.(check (float 1e-12)) "summed" 0.003 (Sim.now sim);
+  Alcotest.(check (float 1e-12)) "cpu accounted" 0.003 (Machine.cpu_seconds m)
+
+let zero_charge_free () =
+  let sim = Sim.create () in
+  let m = Machine.create sim p in
+  (* a zero-cost charge must not require a fiber at all *)
+  Machine.charge m [];
+  Machine.charge m [ Machine.Busy 0. ];
+  Alcotest.(check (float 1e-12)) "no time" 0. (Sim.now sim)
+
+let cpu_is_exclusive () =
+  let sim = Sim.create () in
+  let m = Machine.create sim p in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Machine.charge m [ Machine.Busy 1.0 ];
+        done_at := Sim.now sim :: !done_at)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "serialized on one CPU" [ 1.; 2.; 3. ]
+    (List.sort compare !done_at)
+
+let two_hosts_parallel () =
+  let sim = Sim.create () in
+  let m1 = Machine.create sim p and m2 = Machine.create sim p in
+  let done_at = ref [] in
+  Sim.spawn sim (fun () ->
+      Machine.charge m1 [ Machine.Busy 1.0 ];
+      done_at := Sim.now sim :: !done_at);
+  Sim.spawn sim (fun () ->
+      Machine.charge m2 [ Machine.Busy 1.0 ];
+      done_at := Sim.now sim :: !done_at);
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "independent CPUs overlap" [ 1.; 1. ]
+    !done_at
+
+let buffer_scheme_ablation () =
+  (* Per-header allocation makes every header cost ~an allocation more:
+     the 0.50 vs 0.11 msec per layer contrast of section 5. *)
+  let cheap = Machine.op_cost p (Machine.Header 20) in
+  let dear =
+    Machine.op_cost
+      (Machine.with_buffer_scheme Machine.Per_header_alloc p)
+      (Machine.Header 20)
+  in
+  Alcotest.(check (float 1e-9)) "difference is the alloc cost" p.Machine.alloc
+    (dear -. cheap)
+
+let profile_ordering () =
+  (* The Sprite-kernel and SunOS profiles must be uniformly no cheaper
+     than the x-kernel profile on the shared cost axes. *)
+  let ops =
+    [
+      Machine.Layer_crossing;
+      Machine.Header 36;
+      Machine.Process_switch;
+      Machine.Interrupt 64;
+      Machine.Device_send 64;
+      Machine.Os_per_message;
+    ]
+  in
+  List.iter
+    (fun op ->
+      let base = Machine.op_cost Machine.xkernel_sun3 op in
+      Alcotest.(check bool) "sprite >= xkernel" true
+        (Machine.op_cost Machine.sprite_kernel op >= base);
+      Alcotest.(check bool) "sunos >= xkernel" true
+        (Machine.op_cost Machine.sunos_socket op >= base))
+    ops
+
+let per_byte_costs_scale () =
+  let small = Machine.op_cost p (Machine.Device_send 64) in
+  let large = Machine.op_cost p (Machine.Device_send 1500) in
+  Alcotest.(check bool) "larger frame costs more" true (large > small);
+  Alcotest.(check (float 1e-9)) "linear in bytes"
+    (float_of_int (1500 - 64) *. p.Machine.device_per_byte)
+    (large -. small)
+
+let set_profile_switches () =
+  let sim = Sim.create () in
+  let m = Machine.create sim p in
+  Machine.set_profile m Machine.sprite_kernel;
+  Alcotest.(check string) "profile swapped" "sprite-kernel"
+    (Machine.profile m).Machine.profile_name
+
+let virtual_op_cheaper () =
+  Alcotest.(check bool) "virtual < layer crossing" true
+    (Machine.op_cost p Machine.Virtual_op
+    < Machine.op_cost p Machine.Layer_crossing)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "charging",
+        [
+          Alcotest.test_case "charge advances clock" `Quick charge_advances_clock;
+          Alcotest.test_case "zero charge is free" `Quick zero_charge_free;
+          Alcotest.test_case "CPU mutual exclusion" `Quick cpu_is_exclusive;
+          Alcotest.test_case "hosts run in parallel" `Quick two_hosts_parallel;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "buffer scheme ablation" `Quick buffer_scheme_ablation;
+          Alcotest.test_case "profile cost ordering" `Quick profile_ordering;
+          Alcotest.test_case "per-byte scaling" `Quick per_byte_costs_scale;
+          Alcotest.test_case "profile switching" `Quick set_profile_switches;
+          Alcotest.test_case "virtual op cheaper" `Quick virtual_op_cheaper;
+        ] );
+    ]

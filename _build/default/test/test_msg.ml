@@ -1,0 +1,136 @@
+open Xkernel
+
+let push_pop_stack () =
+  let m = Msg.of_string "payload" in
+  let m = Msg.push m "HDR2" in
+  let m = Msg.push m "H1" in
+  (* Pops come off in reverse push order — stack discipline. *)
+  let h1, m = Option.get (Msg.pop m 2) in
+  Tutil.check_str "inner header" "H1" h1;
+  let h2, m = Option.get (Msg.pop m 4) in
+  Tutil.check_str "outer header" "HDR2" h2;
+  Tutil.check_str "payload intact" "payload" (Msg.to_string m)
+
+let pop_too_short () =
+  Alcotest.(check bool)
+    "pop beyond length" true
+    (Msg.pop (Msg.of_string "ab") 3 = None)
+
+let length_o1 () =
+  let m = Msg.fill 1_000_000 'x' in
+  Tutil.check_int "large fill length" 1_000_000 (Msg.length m);
+  let m2 = Msg.append m m in
+  Tutil.check_int "append length" 2_000_000 (Msg.length m2)
+
+let split_rejoin () =
+  let m = Msg.of_string "abcdefgh" in
+  let a, b = Msg.split m 3 in
+  Tutil.check_str "left" "abc" (Msg.to_string a);
+  Tutil.check_str "right" "defgh" (Msg.to_string b);
+  Alcotest.check Tutil.msg "rejoin" m (Msg.append a b)
+
+let split_bounds () =
+  let m = Msg.of_string "abc" in
+  let a, b = Msg.split m 0 in
+  Alcotest.(check bool) "empty left" true (Msg.is_empty a);
+  Tutil.check_str "full right" "abc" (Msg.to_string b);
+  let a, b = Msg.split m 3 in
+  Tutil.check_str "full left" "abc" (Msg.to_string a);
+  Alcotest.(check bool) "empty right" true (Msg.is_empty b);
+  Alcotest.check_raises "negative" (Invalid_argument "Msg.split") (fun () ->
+      ignore (Msg.split m (-1)));
+  Alcotest.check_raises "too big" (Invalid_argument "Msg.split") (fun () ->
+      ignore (Msg.split m 4))
+
+let sub_slices () =
+  let m = Msg.append (Msg.of_string "abcd") (Msg.of_string "efgh") in
+  Tutil.check_str "across leaves" "cdef" (Msg.to_string (Msg.sub m 2 4));
+  Tutil.check_str "empty sub" "" (Msg.to_string (Msg.sub m 4 0))
+
+let map_byte_corrupts () =
+  let m = Msg.of_string "abcdef" in
+  let m' = Msg.map_byte 2 (fun c -> Char.chr (Char.code c lxor 0xff)) m in
+  Alcotest.(check bool) "changed" false (Msg.equal m m');
+  Tutil.check_str "only byte 2" "ab\x9cdef" (Msg.to_string m')
+
+let equal_ignores_shape () =
+  let a = Msg.append (Msg.of_string "ab") (Msg.of_string "cd") in
+  let b = Msg.of_string "abcd" in
+  Alcotest.(check bool) "equal across shapes" true (Msg.equal a b)
+
+let fill_content () =
+  Tutil.check_str "fill bytes" "zzzz" (Msg.to_string (Msg.fill 4 'z'));
+  Alcotest.(check bool) "fill 0 empty" true (Msg.is_empty (Msg.fill 0 'z'))
+
+(* qcheck: a message with arbitrary structure *)
+let gen_msg =
+  QCheck.make
+    ~print:(fun parts -> String.concat "|" parts)
+    QCheck.Gen.(list_size (int_range 0 8) (string_size (int_range 0 32)))
+
+let build parts =
+  List.fold_left (fun acc s -> Msg.append acc (Msg.of_string s)) Msg.empty parts
+
+let prop_split_concat =
+  Tutil.qtest "split n; append = id"
+    QCheck.(pair gen_msg (int_bound 300))
+    (fun (parts, n) ->
+      let m = build parts in
+      let n = if Msg.length m = 0 then 0 else n mod (Msg.length m + 1) in
+      let a, b = Msg.split m n in
+      Msg.equal m (Msg.append a b)
+      && Msg.length a = n
+      && Msg.length b = Msg.length m - n)
+
+let prop_push_pop =
+  Tutil.qtest "push h; pop |h| = (h, id)"
+    QCheck.(pair gen_msg (string_of_size (Gen.int_range 0 40)))
+    (fun (parts, h) ->
+      let m = build parts in
+      match Msg.pop (Msg.push m h) (String.length h) with
+      | Some (h', rest) -> String.equal h h' && Msg.equal rest m
+      | None -> false)
+
+let prop_to_string_concat =
+  Tutil.qtest "to_string distributes over append" gen_msg (fun parts ->
+      String.equal (Msg.to_string (build parts)) (String.concat "" parts))
+
+let prop_fragment_reassemble =
+  Tutil.qtest "chunked split reassembles"
+    QCheck.(pair gen_msg (int_range 1 64))
+    (fun (parts, chunk) ->
+      let m = build parts in
+      let rec frags acc off =
+        if off >= Msg.length m then List.rev acc
+        else
+          let this = min chunk (Msg.length m - off) in
+          frags (Msg.sub m off this :: acc) (off + this)
+      in
+      let back =
+        List.fold_left Msg.append Msg.empty (frags [] 0)
+      in
+      Msg.equal m back)
+
+let () =
+  Alcotest.run "msg"
+    [
+      ( "stack",
+        [
+          Alcotest.test_case "push/pop discipline" `Quick push_pop_stack;
+          Alcotest.test_case "pop too short" `Quick pop_too_short;
+          prop_push_pop;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "O(1) length" `Quick length_o1;
+          Alcotest.test_case "split and rejoin" `Quick split_rejoin;
+          Alcotest.test_case "split bounds" `Quick split_bounds;
+          Alcotest.test_case "sub across leaves" `Quick sub_slices;
+          Alcotest.test_case "map_byte" `Quick map_byte_corrupts;
+          Alcotest.test_case "equality ignores shape" `Quick equal_ignores_shape;
+          Alcotest.test_case "fill" `Quick fill_content;
+          prop_split_concat;
+          prop_to_string_concat;
+          prop_fragment_reassemble;
+        ] );
+    ]

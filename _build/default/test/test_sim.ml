@@ -1,0 +1,214 @@
+open Xkernel
+
+let time_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.after sim 0.3 (fun () -> log := 3 :: !log));
+  ignore (Sim.after sim 0.1 (fun () -> log := 1 :: !log));
+  ignore (Sim.after sim 0.2 (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "fires in time order" [ 1; 2; 3 ] (List.rev !log)
+
+let fifo_at_same_time () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.after sim 0.1 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO among equals" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  Sim.spawn sim (fun () ->
+      seen := Sim.now sim :: !seen;
+      Sim.delay sim 1.5;
+      seen := Sim.now sim :: !seen;
+      Sim.delay sim 0.5;
+      seen := Sim.now sim :: !seen);
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "timestamps" [ 0.; 1.5; 2.0 ] (List.rev !seen)
+
+let cancel_timer () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.after sim 1.0 (fun () -> fired := true) in
+  Alcotest.(check bool) "cancel succeeds" true (Sim.cancel ev);
+  Alcotest.(check bool) "second cancel fails" false (Sim.cancel ev);
+  Sim.run sim;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.after sim 1.0 (fun () -> incr fired));
+  ignore (Sim.after sim 3.0 (fun () -> incr fired));
+  Sim.run ~until:2.0 sim;
+  Tutil.check_int "only first fired" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock at bound" 2.0 (Sim.now sim);
+  Sim.run sim;
+  Tutil.check_int "remaining fires" 2 !fired
+
+let not_in_fiber () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "delay outside fiber" Sim.Not_in_fiber (fun () ->
+      Sim.delay sim 1.0)
+
+let stall_guard () =
+  let sim = Sim.create ~max_events:100 () in
+  let rec forever () =
+    ignore (Sim.after sim 0.001 forever)
+  in
+  forever ();
+  Alcotest.(check bool) "raises Stalled" true
+    (match Sim.run sim with
+    | () -> false
+    | exception Sim.Stalled _ -> true)
+
+let semaphore_mutex () =
+  let sim = Sim.create () in
+  let sem = Sim.Semaphore.create sim 1 in
+  let log = ref [] in
+  let worker i =
+    Sim.spawn sim (fun () ->
+        Sim.Semaphore.p sem;
+        log := (i, Sim.now sim) :: !log;
+        Sim.delay sim 1.0;
+        Sim.Semaphore.v sem)
+  in
+  worker 1;
+  worker 2;
+  worker 3;
+  Sim.run sim;
+  let order = List.rev_map fst !log in
+  Alcotest.(check (list int)) "FIFO entry order" [ 1; 2; 3 ] order;
+  let times = List.rev_map snd !log in
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 0.; 1.; 2. ] times
+
+let semaphore_counts () =
+  let sim = Sim.create () in
+  let sem = Sim.Semaphore.create sim 2 in
+  Tutil.check_int "initial" 2 (Sim.Semaphore.count sem);
+  Sim.spawn sim (fun () ->
+      Sim.Semaphore.p sem;
+      Sim.Semaphore.p sem;
+      Tutil.check_int "drained" 0 (Sim.Semaphore.count sem);
+      Sim.Semaphore.v sem;
+      Tutil.check_int "restored" 1 (Sim.Semaphore.count sem));
+  Sim.run sim
+
+let semaphore_waiters () =
+  let sim = Sim.create () in
+  let sem = Sim.Semaphore.create sim 0 in
+  let got = ref false in
+  Sim.spawn sim (fun () ->
+      Sim.Semaphore.p sem;
+      got := true);
+  ignore
+    (Sim.after sim 1.0 (fun () ->
+         Tutil.check_int "one waiter" 1 (Sim.Semaphore.waiters sem);
+         Sim.Semaphore.v sem));
+  Sim.run sim;
+  Alcotest.(check bool) "released" true !got
+
+let ivar_basic () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create sim in
+  let got = ref 0 in
+  Sim.spawn sim (fun () -> got := Sim.Ivar.read iv);
+  ignore (Sim.after sim 2.0 (fun () -> Sim.Ivar.fill iv 42));
+  Sim.run sim;
+  Tutil.check_int "read blocks then returns" 42 !got
+
+let ivar_double_fill () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create sim in
+  Sim.Ivar.fill iv 1;
+  Alcotest.check_raises "second fill" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Sim.Ivar.fill iv 2)
+
+let ivar_timeout_expires () =
+  let sim = Sim.create () in
+  let iv : int Sim.Ivar.ivar = Sim.Ivar.create sim in
+  let got = ref (Some 0) in
+  Sim.spawn sim (fun () -> got := Sim.Ivar.read_timeout iv 1.0);
+  Sim.run sim;
+  Alcotest.(check bool) "timed out" true (!got = None);
+  Alcotest.(check (float 1e-9)) "waited exactly" 1.0 (Sim.now sim)
+
+let ivar_timeout_wins () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create sim in
+  let got = ref None in
+  Sim.spawn sim (fun () -> got := Sim.Ivar.read_timeout iv 1.0);
+  ignore (Sim.after sim 0.5 (fun () -> Sim.Ivar.fill iv 7));
+  Sim.run sim;
+  Alcotest.(check bool) "value before timeout" true (!got = Some 7)
+
+let ivar_multiple_readers () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create sim in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () -> sum := !sum + Sim.Ivar.read iv)
+  done;
+  ignore (Sim.after sim 1.0 (fun () -> Sim.Ivar.fill iv 5));
+  Sim.run sim;
+  Tutil.check_int "all readers woken" 15 !sum
+
+let event_module_cancel () =
+  let sim = Sim.create () in
+  let host =
+    Host.create sim ~name:"h" ~ip:(Addr.Ip.v 10 0 0 1) ~eth:(Addr.Eth.v 1) ()
+  in
+  let fired = ref false in
+  Sim.spawn sim (fun () ->
+      let ev = Event.schedule host 1.0 (fun () -> fired := true) in
+      Alcotest.(check bool) "cancel ok" true (Event.cancel host ev);
+      Alcotest.(check bool) "marks done" true (Event.cancelled_or_fired ev));
+  Sim.run sim;
+  Alcotest.(check bool) "never fired" false !fired
+
+let yield_interleaves () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      log := "a1" :: !log;
+      Sim.yield sim;
+      log := "a2" :: !log);
+  Sim.spawn sim (fun () -> log := "b" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "yield lets b run" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "time ordering" `Quick time_ordering;
+          Alcotest.test_case "FIFO at same instant" `Quick fifo_at_same_time;
+          Alcotest.test_case "clock advances with delay" `Quick clock_advances;
+          Alcotest.test_case "timer cancellation" `Quick cancel_timer;
+          Alcotest.test_case "run ~until" `Quick run_until;
+          Alcotest.test_case "blocking outside fiber" `Quick not_in_fiber;
+          Alcotest.test_case "runaway guard" `Quick stall_guard;
+          Alcotest.test_case "yield" `Quick yield_interleaves;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutual exclusion + FIFO" `Quick semaphore_mutex;
+          Alcotest.test_case "counting" `Quick semaphore_counts;
+          Alcotest.test_case "waiter accounting" `Quick semaphore_waiters;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "read blocks until fill" `Quick ivar_basic;
+          Alcotest.test_case "double fill rejected" `Quick ivar_double_fill;
+          Alcotest.test_case "timeout expires" `Quick ivar_timeout_expires;
+          Alcotest.test_case "fill beats timeout" `Quick ivar_timeout_wins;
+          Alcotest.test_case "multiple readers" `Quick ivar_multiple_readers;
+          Alcotest.test_case "event library cancel" `Quick event_module_cancel;
+        ] );
+    ]

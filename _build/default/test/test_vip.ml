@@ -1,0 +1,260 @@
+open Xkernel
+module World = Netproto.World
+module Probe = Netproto.Probe
+
+let vip_stat (n : World.node) name = Tutil.stat (Netproto.Vip.proto n.World.vip) name
+
+let local_small_uses_eth_only () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  (* Probe advertises max 1480: VIP should not open IP at all. *)
+  let pc = Probe.create ~host:n0.World.host ~lower:(Netproto.Vip.proto n0.World.vip) () in
+  let ps = Probe.create ~host:n1.World.host ~lower:(Netproto.Vip.proto n1.World.vip) () in
+  Probe.serve ps;
+  let rtt = Tutil.run_in w (fun () -> Probe.rtt pc ~peer:n1.World.host.Host.ip ()) in
+  Alcotest.(check bool) "echoed" true (rtt <> None);
+  Tutil.check_int "opened ethernet only" 1 (vip_stat n0 "open-eth");
+  Tutil.check_int "no dual session" 0 (vip_stat n0 "open-both");
+  Alcotest.(check bool) "sent over ethernet" true (vip_stat n0 "tx-eth" > 0);
+  Tutil.check_int "nothing over IP" 0 (vip_stat n0 "tx-ip");
+  (* IP protocol object on the client saw no traffic at all. *)
+  Tutil.check_int "IP idle" 0 (Tutil.stat (Netproto.Ip.proto n0.World.ip) "tx")
+
+let large_upper_opens_both () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  (* An upper protocol that may push up to 64k: VIP opens ETH and IP,
+     then picks per message by length — the single test in push. *)
+  let pc =
+    Probe.create ~host:n0.World.host ~lower:(Netproto.Vip.proto n0.World.vip)
+      ~max_msg:Netproto.Ip.max_packet ()
+  in
+  let ps =
+    Probe.create ~host:n1.World.host ~lower:(Netproto.Vip.proto n1.World.vip)
+      ~max_msg:Netproto.Ip.max_packet ()
+  in
+  Probe.serve ps;
+  Tutil.run_in w (fun () ->
+      Alcotest.(check bool) "small echo" true
+        (Probe.rtt pc ~peer:n1.World.host.Host.ip ~size:100 () <> None);
+      Alcotest.(check bool) "large echo" true
+        (Probe.rtt pc ~peer:n1.World.host.Host.ip ~size:8000 ~timeout:5.0 ()
+        <> None));
+  Tutil.check_int "opened both" 1 (vip_stat n0 "open-both");
+  Alcotest.(check bool) "small went over ethernet" true (vip_stat n0 "tx-eth" > 0);
+  Alcotest.(check bool) "large went over IP" true (vip_stat n0 "tx-ip" > 0)
+
+let remote_peer_uses_ip () =
+  let inet = World.create_internet () in
+  let wn = World.node inet.World.west 0 in
+  let en = World.node inet.World.east 0 in
+  let pc = Probe.create ~host:wn.World.host ~lower:(Netproto.Vip.proto wn.World.vip) () in
+  let ps = Probe.create ~host:en.World.host ~lower:(Netproto.Vip.proto en.World.vip) () in
+  Probe.serve ps;
+  let rtt = ref None in
+  Sim.spawn inet.World.inet_sim (fun () ->
+      rtt := Probe.rtt pc ~peer:en.World.host.Host.ip ~timeout:5.0 ());
+  Sim.run inet.World.inet_sim;
+  Alcotest.(check bool) "cross-network echo" true (!rtt <> None);
+  (* ARP could not resolve the remote peer, so VIP fell back to IP. *)
+  Tutil.check_int "opened IP" 1 (vip_stat wn "open-ip");
+  Tutil.check_int "never opened ethernet session" 0 (vip_stat wn "open-eth")
+
+let vip_cheaper_than_ip () =
+  (* The whole point of Table I: on the local wire, VIP ≈ ETH < IP. *)
+  let lat lower_of =
+    let w = World.create () in
+    let n0 = World.node w 0 and n1 = World.node w 1 in
+    let pc = Probe.create ~host:n0.World.host ~lower:(lower_of n0) () in
+    let ps = Probe.create ~host:n1.World.host ~lower:(lower_of n1) () in
+    Probe.serve ps;
+    Tutil.run_in w (fun () ->
+        ignore (Probe.rtt pc ~peer:n1.World.host.Host.ip ());
+        let t0 = Sim.now w.World.sim in
+        for _ = 1 to 20 do
+          ignore (Probe.rtt pc ~peer:n1.World.host.Host.ip ())
+        done;
+        (Sim.now w.World.sim -. t0) /. 20.)
+  in
+  let via_vip = lat (fun n -> Netproto.Vip.proto n.World.vip) in
+  let via_ip = lat (fun n -> Netproto.Ip.proto n.World.ip) in
+  Alcotest.(check bool)
+    (Printf.sprintf "vip (%.3fms) < ip (%.3fms)" (via_vip *. 1e3) (via_ip *. 1e3))
+    true
+    (via_vip < via_ip);
+  (* and the gap is substantial: IP costs ~0.3-0.4 ms extra round trip *)
+  Alcotest.(check bool) "gap > 0.2ms" true (via_ip -. via_vip > 0.2e-3)
+
+let headerless () =
+  (* VIP adds no header: the ethernet payload for a VIP-carried probe
+     is exactly the probe packet. *)
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let seen_len = ref 0 in
+  let tap = Proto.create ~host:n1.World.host ~name:"TAP" () in
+  Proto.set_ops tap
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "tap");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "tap");
+      open_done = (fun ~upper:_ _ -> invalid_arg "tap");
+      demux = (fun ~lower:_ msg -> seen_len := Msg.length msg);
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  (* Tap the raw ethernet type VIP maps protocol 200 onto. *)
+  Proto.open_enable (Netproto.Eth.proto n1.World.eth) ~upper:tap
+    (Part.v ~local:[ Part.Eth_type (Addr.eth_type_of_ip_proto 200) ] ());
+  let pc = Probe.create ~host:n0.World.host ~lower:(Netproto.Vip.proto n0.World.vip) () in
+  Tutil.run_in w (fun () ->
+      ignore (Probe.rtt pc ~peer:n1.World.host.Host.ip ~size:11 ~timeout:0.05 ()));
+  (* probe header (5) + payload (11): nothing from VIP. *)
+  Tutil.check_int "no VIP header bytes" 16 !seen_len
+
+let vip_addr_returns_lower_session () =
+  let w = World.create () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let upper = Proto.create ~host:n0.World.host ~name:"UP" () in
+  Proto.set_ops upper
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "up");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "up");
+      open_done = (fun ~upper:_ _ -> invalid_arg "up");
+      demux = (fun ~lower:_ _ -> ());
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  let sess =
+    Tutil.run_in w (fun () ->
+        Proto.open_ (Netproto.Vip_addr.proto n0.World.vip_addr) ~upper
+          (Part.v
+             ~local:[ Part.Ip n0.World.host.Host.ip; Part.Ip_proto 200 ]
+             ~remotes:[ [ Part.Ip n1.World.host.Host.ip; Part.Ip_proto 200 ] ]
+             ()))
+  in
+  (* The session handed back belongs to ETH, not to VIPaddr. *)
+  Tutil.check_str "owned by ETH" "ETH" (Proto.name (Proto.session_proto sess))
+
+let probe_swaps_ip_for_vip_unchanged () =
+  (* The uniform interface: the same Probe code runs over IP or VIP
+     with no change but the protocol object handed to it. *)
+  List.iter
+    (fun lower_of ->
+      let w = World.create () in
+      let n0 = World.node w 0 and n1 = World.node w 1 in
+      let pc = Probe.create ~host:n0.World.host ~lower:(lower_of n0) () in
+      let ps = Probe.create ~host:n1.World.host ~lower:(lower_of n1) () in
+      Probe.serve ps;
+      let r = Tutil.run_in w (fun () -> Probe.rtt pc ~peer:n1.World.host.Host.ip ()) in
+      Alcotest.(check bool) "echo works" true (r <> None))
+    [
+      (fun (n : World.node) -> Netproto.Ip.proto n.World.ip);
+      (fun (n : World.node) -> Netproto.Vip.proto n.World.vip);
+      (fun (n : World.node) -> Netproto.Vip_addr.proto n.World.vip_addr);
+    ]
+
+let advertisement_gates_ethernet_path () =
+  (* Section 3.1's generalization: with the broadcast advertisement
+     table in play, VIP takes the ethernet path only toward hosts that
+     announced VIP support; everyone else is reached via IP even though
+     ARP resolves them. *)
+  let w = World.create ~n:3 () in
+  let n0 = World.node w 0 and n1 = World.node w 1 and n2 = World.node w 2 in
+  (* n0 and n1 run the advertisement protocol; n2 does not. *)
+  let adv0 = Netproto.Vip_adv.create ~host:n0.World.host ~eth:n0.World.eth in
+  let _adv1 = Netproto.Vip_adv.create ~host:n1.World.host ~eth:n1.World.eth in
+  let vip0 =
+    Netproto.Vip.create ~host:n0.World.host ~eth:n0.World.eth ~ip:n0.World.ip
+      ~arp:n0.World.arp ~adv:adv0 ()
+  in
+  (* let the beacons fly *)
+  Netproto.World.run w;
+  Alcotest.(check bool) "n0 learned n1" true
+    (Netproto.Vip_adv.supports adv0 n1.World.host.Host.ip);
+  Alcotest.(check bool) "n0 did not learn n2" false
+    (Netproto.Vip_adv.supports adv0 n2.World.host.Host.ip);
+  (* open toward both peers; only the advertiser gets an ETH session *)
+  let upper =
+    let p = Proto.create ~host:n0.World.host ~name:"SMALL" () in
+    Proto.set_ops p
+      {
+        Proto.open_ = (fun ~upper:_ _ -> invalid_arg "small");
+        open_enable = (fun ~upper:_ _ -> invalid_arg "small");
+        open_done = (fun ~upper:_ _ -> invalid_arg "small");
+        demux = (fun ~lower:_ _ -> ());
+        p_control =
+          (function
+          | Control.Get_max_msg_size -> Control.R_int 100
+          | _ -> Control.Unsupported);
+      };
+    p
+  in
+  let open_to peer =
+    Tutil.run_in w (fun () ->
+        ignore
+          (Proto.open_ (Netproto.Vip.proto vip0) ~upper
+             (Part.v
+                ~local:[ Part.Ip n0.World.host.Host.ip; Part.Ip_proto 201 ]
+                ~remotes:[ [ Part.Ip peer; Part.Ip_proto 201 ] ]
+                ())))
+  in
+  open_to n1.World.host.Host.ip;
+  Tutil.check_int "advertiser: ethernet" 1
+    (Tutil.stat (Netproto.Vip.proto vip0) "open-eth");
+  open_to n2.World.host.Host.ip;
+  Tutil.check_int "non-advertiser: IP fallback" 1
+    (Tutil.stat (Netproto.Vip.proto vip0) "open-ip")
+
+let query_reaches_late_joiner () =
+  let w = World.create ~n:2 () in
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let adv0 = Netproto.Vip_adv.create ~host:n0.World.host ~eth:n0.World.eth in
+  Netproto.World.run w;
+  (* n1 starts advertising only later — its initial beacon predates n0?
+     No: both beacons flew already.  Simulate a late joiner by flushing
+     n0's table, then querying. *)
+  ignore (Proto.control (Netproto.Vip_adv.proto adv0) Control.Flush_cache);
+  let _adv1 = Netproto.Vip_adv.create ~host:n1.World.host ~eth:n1.World.eth in
+  Tutil.run_in w (fun () -> Netproto.Vip_adv.query adv0);
+  Netproto.World.run w;
+  Alcotest.(check bool) "query repopulated the table" true
+    (Netproto.Vip_adv.supports adv0 n1.World.host.Host.ip)
+
+let graph_rendering () =
+  let w = World.create () in
+  let n0 = World.node w 0 in
+  let s = Format.asprintf "%a" Proto.pp_graph [ Netproto.Vip.proto n0.World.vip ] in
+  let contains hay needle =
+    let ln = String.length needle and lh = String.length hay in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "VIP (virtual)" true (contains s "VIP (virtual)");
+  Alcotest.(check bool) "ETH below" true (contains s "ETH");
+  Alcotest.(check bool) "IP below" true (contains s "IP")
+
+let () =
+  Alcotest.run "vip"
+    [
+      ( "path selection",
+        [
+          Alcotest.test_case "local small: ETH only" `Quick local_small_uses_eth_only;
+          Alcotest.test_case "large upper: both, split by size" `Quick
+            large_upper_opens_both;
+          Alcotest.test_case "remote peer: IP" `Quick remote_peer_uses_ip;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "VIP cheaper than IP" `Quick vip_cheaper_than_ip;
+          Alcotest.test_case "header-less" `Quick headerless;
+          Alcotest.test_case "VIPaddr returns lower session" `Quick
+            vip_addr_returns_lower_session;
+          Alcotest.test_case "uniform substitution" `Quick
+            probe_swaps_ip_for_vip_unchanged;
+          Alcotest.test_case "graph rendering" `Quick graph_rendering;
+        ] );
+      ( "advertisement",
+        [
+          Alcotest.test_case "table gates ethernet path" `Quick
+            advertisement_gates_ethernet_path;
+          Alcotest.test_case "query reaches late joiner" `Quick
+            query_reaches_late_joiner;
+        ] );
+    ]

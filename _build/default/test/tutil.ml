@@ -1,0 +1,40 @@
+(* Shared helpers for the test suites. *)
+open Xkernel
+
+let msg = Alcotest.testable Msg.pp Msg.equal
+
+let ip = Alcotest.testable Addr.Ip.pp Addr.Ip.equal
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* Run [f] as a fiber in [w] and drive the simulator to completion,
+   returning [f]'s result.  Fails the test on deadlock. *)
+let run_in (w : Netproto.World.t) f =
+  let result = ref None in
+  Netproto.World.spawn w (fun () -> result := Some (f ()));
+  Netproto.World.run w;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "fiber did not complete (deadlock?)"
+
+(* Same for a bare simulator. *)
+let run_sim sim f =
+  let result = ref None in
+  Sim.spawn sim (fun () -> result := Some (f ()));
+  Sim.run sim;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "fiber did not complete (deadlock?)"
+
+let stat p name = Control.int_exn (Proto.control p (Control.Get_stat name))
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected RPC failure: %s" what (Rpc.Rpc_error.to_string e)
+
+let body n = String.init n (fun i -> Char.chr (i * 7 mod 256))
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
