@@ -125,17 +125,52 @@ let microbench () =
     "\n(A layer crossing adds only a handful of ns of real work - the\n\
     \ x-kernel claim that a layer costs one procedure call.)\n"
 
+(* One optional flag, parsed by hand: [--json FILE] writes every
+   experiment's rows plus the full stats-registry dump to FILE. *)
+let json_path () =
+  let p = ref None in
+  let argv = Sys.argv in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" then
+        if i + 1 < Array.length argv then p := Some argv.(i + 1)
+        else begin
+          prerr_endline "bench: --json needs a FILE argument";
+          exit 2
+        end)
+    argv;
+  !p
+
 let () =
+  let json_path = json_path () in
   pr "RPC in the x-Kernel: reproduction benchmarks\n";
   pr "(virtual-time msec from the calibrated simulator; see DESIGN.md)\n";
-  E.intro ();
-  E.table1 ();
-  E.table2 ();
-  E.table3 ();
-  E.removal ();
-  E.figures
-    ~fig2_extra:(fun ~host ~lower -> Psync.proto (Psync.create ~host ~lower ()))
-    ();
-  E.ablation ();
-  E.cpu_note ();
-  microbench ()
+  let sections =
+    [
+      ("intro", E.intro ());
+      ("table1", E.table1 ());
+      ("table2", E.table2 ());
+      ("table3", E.table3 ());
+      ("removal", E.removal ());
+      ( "figures",
+        E.figures
+          ~fig2_extra:(fun ~host ~lower ->
+            Psync.proto (Psync.create ~host ~lower ()))
+          () );
+      ("ablation", E.ablation ());
+      ("cpu_note", E.cpu_note ());
+    ]
+  in
+  microbench ();
+  match json_path with
+  | None -> ()
+  | Some path -> (
+      let doc =
+        Json.Obj
+          [ ("experiments", Json.Obj sections); ("stats", Stats.json ()) ]
+      in
+      match Json.write_file path doc with
+      | () -> pr "\nwrote JSON results to %s\n" path
+      | exception Sys_error e ->
+          Printf.eprintf "bench: cannot write JSON: %s\n" e;
+          exit 1)

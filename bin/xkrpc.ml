@@ -28,17 +28,32 @@ let experiments =
     ("cpu", E.cpu_note);
   ]
 
-let run_exp ids =
+let write_json path doc =
+  match Json.write_file path doc with
+  | () -> Printf.printf "wrote JSON results to %s\n" path
+  | exception Sys_error e ->
+      Printf.eprintf "xkrpc: cannot write JSON: %s\n" e;
+      exit 1
+
+let run_exp json ids =
   let ids = if ids = [] || List.mem "all" ids then List.map fst experiments else ids in
-  List.iter
-    (fun id ->
-      match List.assoc_opt id experiments with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown experiment %S (try: %s, all)\n" id
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    ids
+  let sections =
+    List.map
+      (fun id ->
+        match List.assoc_opt id experiments with
+        | Some f -> (id, f ())
+        | None ->
+            Printf.eprintf "unknown experiment %S (try: %s, all)\n" id
+              (String.concat ", " (List.map fst experiments));
+            exit 1)
+      ids
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+      write_json path
+        (Json.Obj
+           [ ("experiments", Json.Obj sections); ("stats", Stats.json ()) ])
 
 let stack_builders =
   [
@@ -64,11 +79,12 @@ let run_graph name =
       let e = mk w in
       Format.printf "%a" Proto.pp_graph e.Rpc.Stacks.tops)
 
-let run_rpc name size count drop seed =
+let run_rpc name size count drop seed json =
   with_stack name (fun mk ->
       let w = World.create ~seed () in
       let e = mk w in
       let ok = ref 0 and failed = ref 0 in
+      let total = ref 0. in
       World.spawn w (fun () ->
           (* warm up before enabling loss so ARP isn't part of the story *)
           ignore (e.Rpc.Stacks.call ~command:Rpc.Stacks.cmd_null Msg.empty);
@@ -81,6 +97,7 @@ let run_rpc name size count drop seed =
             | Error _ -> incr failed
           done;
           let dt = Sim.now w.World.sim -. t0 in
+          total := dt;
           Printf.printf
             "%s: %d/%d calls ok (%d failed) in %.2f ms simulated\n" name !ok
             count !failed (dt *. 1e3);
@@ -89,7 +106,29 @@ let run_rpc name size count drop seed =
             Printf.printf "  (%.0f kB/s)"
               (float_of_int size /. (dt /. float_of_int count) /. 1000.);
           print_newline ());
-      World.run w)
+      World.run w;
+      match json with
+      | None -> ()
+      | Some path ->
+          write_json path
+            (Json.Obj
+               [
+                 ( "workload",
+                   Json.Obj
+                     [
+                       ("config", Json.Str name);
+                       ("size", Json.Int size);
+                       ("count", Json.Int count);
+                       ("drop", Json.Float drop);
+                       ("seed", Json.Int seed);
+                       ("ok", Json.Int !ok);
+                       ("failed", Json.Int !failed);
+                       ("total_ms", Json.Float (!total *. 1e3));
+                       ( "per_call_ms",
+                         Json.Float (!total /. float_of_int count *. 1e3) );
+                     ] );
+                 ("stats", Stats.json ());
+               ]))
 
 let run_trace name size =
   Trace.set_level (Some Logs.Debug);
@@ -147,11 +186,18 @@ let run_check name =
 
 open Cmdliner
 
+let json_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write results and the full stats dump to $(docv) as JSON")
+
 let exp_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run experiments by id (default: all)")
-    Term.(const run_exp $ ids)
+    Term.(const run_exp $ json_opt $ ids)
 
 let config_pos =
   Arg.(value & pos 0 string "lrpc" & info [] ~docv:"CONFIG")
@@ -179,7 +225,7 @@ let rpc_cmd =
   in
   Cmd.v
     (Cmd.info "rpc" ~doc:"Run an ad-hoc RPC workload")
-    Term.(const run_rpc $ config_pos $ size $ count $ drop $ seed)
+    Term.(const run_rpc $ config_pos $ size $ count $ drop $ seed $ json_opt)
 
 let trace_cmd =
   let size =

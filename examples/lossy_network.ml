@@ -14,6 +14,8 @@ let calls = 20
 let payload_size = 16000
 
 let run_batch drop_rate =
+  (* fresh registry per batch so the final dump shows only the last run *)
+  Stats.reset_registry ();
   let w = World.create ~seed:(7 + int_of_float (drop_rate *. 100.)) () in
   let executions = ref 0 in
   let build (n : World.node) =
@@ -72,4 +74,17 @@ let () =
   print_endline
     "FRAGMENT's NACKs repair most single-fragment losses cheaply; CHANNEL's\n\
      retransmissions (full-message retries) only kick in when a whole\n\
-     message or a reply vanished."
+     message or a reply vanished.";
+  (* Client-side counters from the last (30% drop) batch, via the stats
+     registry: every nonzero counter of the h0.0/* protocol tables. *)
+  print_endline "\nClient-side counters of the 30% batch (stats registry):";
+  List.iter
+    (fun (name, counters) ->
+      if String.length name >= 5 && String.sub name 0 5 = "h0.0/" then
+        let nonzero = List.filter (fun (_, v) -> v <> 0) counters in
+        if nonzero <> [] then begin
+          Printf.printf "  %-14s" name;
+          List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) nonzero;
+          print_newline ()
+        end)
+    (Stats.dump ())

@@ -109,7 +109,7 @@ let make ~host ~lower ~proto_num ~flavor ~name ~cred_for ~verify =
       p;
       sessions = Hashtbl.create 8;
       enabled = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

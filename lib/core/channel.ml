@@ -41,6 +41,7 @@ type t = {
   retries : int;
   p : Proto.t;
   sessions : (int * int * int, sess) Hashtbl.t; (* (peer, proto, chan) *)
+  by_id : (int, sess) Hashtbl.t; (* Proto.session_id xs -> sess *)
   enabled : (int, Proto.t) Hashtbl.t;
   stats : Stats.t;
 }
@@ -60,7 +61,10 @@ let header t s ~flags ~seq ~error =
 
 let transmit t s hdr payload =
   Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
-  Proto.push s.lower_sess (Msg.push payload (C.encode hdr))
+  let encoded = Msg.push payload (C.encode hdr) in
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"CHANNEL"
+    ~dir:`Send encoded;
+  Proto.push s.lower_sess encoded
 
 (* Step-function timeout: short for single-fragment requests; long
    enough for multi-fragment ones that the fragmentation layer below is
@@ -127,9 +131,7 @@ let rec arm_timer t s o timeout =
                end
            | _ -> ()))
 
-let send_request t s ~iv payload =
-  if s.out <> None then
-    invalid_arg "Channel: transaction already outstanding on this channel";
+let send_request_free t s ~iv payload =
   (* Sequence numbers start at 1: a fresh server-side channel holds
      last_seq = 0, so the first request must compare greater. *)
   s.next_seq <- s.next_seq + 1;
@@ -144,13 +146,30 @@ let send_request t s ~iv payload =
   transmit t s (header t s ~flags:Wire_fmt.Flags.request ~seq ~error:0) payload;
   arm_timer t s o (request_timeout t s (Msg.length payload + C.bytes))
 
+let send_request t s ~iv payload =
+  match s.out with
+  | Some _ -> (
+      (* A transaction is already outstanding.  This must not raise: on
+         the uniform path the push can be triggered remotely, and a
+         crash of the whole host is the wrong answer.  Count it and
+         reject (blocking callers) or drop (uniform pushes). *)
+      match iv with
+      | Some iv ->
+          Stats.incr t.stats "call-busy";
+          Sim.Ivar.fill iv (Error Rpc_error.Busy)
+      | None -> Stats.incr t.stats "uniform-busy")
+  | None -> send_request_free t s ~iv payload
+
 let send_reply t s payload =
   let hdr = header t s ~flags:Wire_fmt.Flags.reply ~seq:s.last_seq ~error:0 in
   Stats.incr t.stats "reply-tx";
   s.busy <- false;
-  s.cached_reply <- Some (Msg.push payload (C.encode hdr));
+  let encoded = Msg.push payload (C.encode hdr) in
+  s.cached_reply <- Some encoded;
   Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
-  Proto.push s.lower_sess (Msg.push payload (C.encode hdr))
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"CHANNEL"
+    ~dir:`Send encoded;
+  Proto.push s.lower_sess encoded
 
 let handle_request t s (hdr : C.t) body =
   Stats.incr t.stats "req-rx";
@@ -268,7 +287,10 @@ let make_session t ~upper ~peer ~proto_num ~chan =
     | req -> Stats.control t.stats req
   in
   let close () =
-    Hashtbl.remove t.sessions (Addr.Ip.to_int peer, proto_num, chan)
+    Hashtbl.remove t.sessions (Addr.Ip.to_int peer, proto_num, chan);
+    match s.xs with
+    | Some xs -> Hashtbl.remove t.by_id (Proto.session_id xs)
+    | None -> ()
   in
   let xs =
     Proto.make_session t.p
@@ -279,6 +301,7 @@ let make_session t ~upper ~peer ~proto_num ~chan =
   in
   s.xs <- Some xs;
   Hashtbl.replace t.sessions (Addr.Ip.to_int peer, proto_num, chan) s;
+  Hashtbl.replace t.by_id (Proto.session_id xs) s;
   s
 
 let open_session t ~upper part =
@@ -316,6 +339,8 @@ let input t ~lower msg =
      identity comes from the session the message arrived on. *)
   match Proto.session_control lower Control.Get_peer_host with
   | Control.R_ip peer -> (
+      Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"CHANNEL"
+        ~dir:`Recv msg;
       match Msg.pop msg C.bytes with
       | None -> Stats.incr t.stats "rx-runt"
       | Some (raw, body) -> (
@@ -338,14 +363,10 @@ let input t ~lower msg =
   | _ -> Stats.incr t.stats "rx-unidentified"
 
 let call t xs msg =
+  (* O(1): the reverse table maps the exported session back to its
+     state without scanning every open channel. *)
   let s =
-    let found =
-      Hashtbl.fold
-        (fun _ s acc ->
-          match s.xs with Some x when x == xs -> Some s | _ -> acc)
-        t.sessions None
-    in
-    match found with
+    match Hashtbl.find_opt t.by_id (Proto.session_id xs) with
     | Some s -> s
     | None -> invalid_arg "Channel.call: not a channel session of this protocol"
   in
@@ -367,8 +388,9 @@ let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
       retries;
       p;
       sessions = Hashtbl.create 32;
+      by_id = Hashtbl.create 32;
       enabled = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

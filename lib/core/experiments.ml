@@ -36,6 +36,28 @@ let measure_config ?profile mk =
   let w = World.create ?profile () in
   Measure.row w (mk w)
 
+(* Every runner also returns its rows as JSON so bench/main and the CLI
+   can emit machine-readable trajectory files alongside the tables. *)
+
+let row_json ~table name (r : Measure.row) =
+  Json.Obj
+    [
+      ("table", Json.Str table);
+      ("config", Json.Str name);
+      ("latency_ms", Json.Float r.Measure.latency_ms);
+      ("throughput_kbs", Json.Float r.throughput_kbs);
+      ("incr_cost_ms_per_kb", Json.Float r.incr_cost_ms_per_kb);
+      ("client_cpu_ms", Json.Float r.client_cpu_ms);
+    ]
+
+let lat_json ~table name v =
+  Json.Obj
+    [
+      ("table", Json.Str table);
+      ("config", Json.Str name);
+      ("latency_ms", Json.Float v);
+    ]
+
 (* --- intro comparison ---------------------------------------------------- *)
 
 let intro () =
@@ -50,28 +72,39 @@ let intro () =
   pr "%-30s %8s / %-8s\n" "Configuration" "paper" "here";
   hr ();
   pr "%-30s %8.2f / %-8.2f\n" "UDP-IP-ETH in the x-kernel" 2.00 xk;
-  pr "%-30s %8.2f / %-8.2f\n" "UDP in SunOS Release 4.0" 5.36 sunos
+  pr "%-30s %8.2f / %-8.2f\n" "UDP in SunOS Release 4.0" 5.36 sunos;
+  Json.Arr
+    [
+      lat_json ~table:"intro" "UDP-IP-ETH x-kernel" xk;
+      lat_json ~table:"intro" "UDP SunOS 4.0" sunos;
+    ]
 
 (* --- Table I ------------------------------------------------------------- *)
 
 let table1 () =
   section "Table I: Evaluating VIP";
   print_header ();
+  let rows = ref [] in
+  let emit name p r =
+    print_row name p r;
+    rows := row_json ~table:"I" name r :: !rows
+  in
   (* N.RPC: the monolithic protocol under the heavier native-Sprite
      kernel cost profile (see DESIGN.md substitutions). *)
-  print_row "N_RPC (Sprite kernel model)"
+  emit "N_RPC (Sprite kernel model)"
     (paper ~lat:2.6 ~tput:700. ~incr:1.2 ())
     (measure_config ~profile:Machine.sprite_kernel (fun w ->
          Stacks.mrpc w ~lower:Stacks.L_eth));
-  print_row "M_RPC-ETH"
+  emit "M_RPC-ETH"
     (paper ~lat:1.73 ~tput:863. ~incr:1.04 ())
     (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_eth));
-  print_row "M_RPC-IP"
+  emit "M_RPC-IP"
     (paper ~lat:2.10 ~tput:836. ~incr:1.05 ())
     (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_ip));
-  print_row "M_RPC-VIP"
+  emit "M_RPC-VIP"
     (paper ~lat:1.79 ~tput:860. ~incr:1.04 ())
-    (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip))
+    (measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip));
+  Json.Arr (List.rev !rows)
 
 (* --- Table II ------------------------------------------------------------ *)
 
@@ -90,13 +123,27 @@ let table2 () =
   let points =
     Measure.probe_sweep ~sizes:[ 16384 ] ~iters:4 w pc ~peer:(World.ip_of w 1)
   in
-  match points with
-  | [ (size, t) ] ->
-      (* the probe echoes the payload, so each direction carries [size]
-         bytes in roughly half the round trip *)
-      pr "FRAGMENT alone (paper 865 kB/s): %.0f kB/s\n"
-        (Measure.throughput_kbs ~size (t /. 2.))
-  | _ -> ()
+  let frag_alone =
+    match points with
+    | [ (size, t) ] ->
+        (* the probe echoes the payload, so each direction carries [size]
+           bytes in roughly half the round trip *)
+        let kbs = Measure.throughput_kbs ~size (t /. 2.) in
+        pr "FRAGMENT alone (paper 865 kB/s): %.0f kB/s\n" kbs;
+        [
+          Json.Obj
+            [
+              ("table", Json.Str "II");
+              ("config", Json.Str "FRAGMENT alone");
+              ("throughput_kbs", Json.Float kbs);
+            ];
+        ]
+    | _ -> []
+  in
+  Json.Arr
+    ([ row_json ~table:"II" "M_RPC-VIP" mono;
+       row_json ~table:"II" "L_RPC-VIP" layered ]
+    @ frag_alone)
 
 (* --- Table III ----------------------------------------------------------- *)
 
@@ -119,13 +166,22 @@ let table3 () =
   let frag = probe_lat Stacks.fragment_probe in
   let chan = call_lat Stacks.channel_fragment_vip in
   let full = call_lat Stacks.lrpc in
+  let rows = ref [] in
   let row name ~paper_lat ~paper_incr ~here ~prev =
     let incr =
       match prev with None -> "NA" | Some p -> Printf.sprintf "%.2f" (here -. p)
     in
     pr "%-30s %6.2f / %-7.2f %10s / %-8s\n" name paper_lat here
       (match paper_incr with None -> "NA" | Some v -> Printf.sprintf "%.2f" v)
-      incr
+      incr;
+    let j =
+      ("config", Json.Str name) :: ("latency_ms", Json.Float here)
+      ::
+      (match prev with
+      | None -> []
+      | Some p -> [ ("incr_cost_ms_per_layer", Json.Float (here -. p)) ])
+    in
+    rows := Json.Obj (("table", Json.Str "III") :: j) :: !rows
   in
   row "VIP" ~paper_lat:1.12 ~paper_incr:None ~here:vip ~prev:None;
   row "FRAGMENT-VIP" ~paper_lat:1.33 ~paper_incr:(Some 0.21) ~here:frag
@@ -133,7 +189,8 @@ let table3 () =
   row "CHANNEL-FRAGMENT-VIP" ~paper_lat:1.82 ~paper_incr:(Some 0.49) ~here:chan
     ~prev:(Some frag);
   row "SELECT-CHANNEL-FRAGMENT-VIP" ~paper_lat:1.93 ~paper_incr:(Some 0.11)
-    ~here:full ~prev:(Some chan)
+    ~here:full ~prev:(Some chan);
+  Json.Arr (List.rev !rows)
 
 (* --- Section 4.3: dynamically removing layers --------------------------- *)
 
@@ -170,7 +227,19 @@ let removal () =
     !r
   in
   pr "16 KB messages still travel via FRAGMENT below VIPsize: %s\n"
-    (if ok then "yes" else "NO - BROKEN")
+    (if ok then "yes" else "NO - BROKEN");
+  Json.Arr
+    [
+      lat_json ~table:"fig3" "M_RPC-VIP (monolithic)" mono;
+      lat_json ~table:"fig3" "SELECT-CHANNEL-FRAGMENT-VIP" layered;
+      lat_json ~table:"fig3" "SELECT-CHANNEL-VIPsize" bypass;
+      Json.Obj
+        [
+          ("table", Json.Str "fig3");
+          ("config", Json.Str "bulk via FRAGMENT below VIPsize");
+          ("ok", Json.Bool ok);
+        ];
+    ]
 
 (* --- figures: protocol graphs ------------------------------------------- *)
 
@@ -234,7 +303,9 @@ let figures ?fig2_extra () =
   in
   let sb = Select.create ~host:n.World.host ~channel:cb () in
   pr "(b) FRAGMENT below VIPsize:\n";
-  Format.printf "%a" Proto.pp_graph [ Select.proto sb ]
+  Format.printf "%a" Proto.pp_graph [ Select.proto sb ];
+  (* graphs are diagrams, not measurements — nothing to export *)
+  Json.Null
 
 (* --- ablation: buffer management ----------------------------------------- *)
 
@@ -253,17 +324,33 @@ let ablation () =
     "(paper: per-header allocation raised the minimum per-layer cost from\n\
     \ 0.11 to 0.50 msec; the %.2f msec gap above is that error, repeated at\n\
     \ every layer of the stack)\n"
-    (per -. pre)
+    (per -. pre);
+  Json.Arr
+    [
+      lat_json ~table:"ablation" "L_RPC-VIP prealloc buffers" pre;
+      lat_json ~table:"ablation" "L_RPC-VIP per-header alloc" per;
+    ]
 
 (* --- CPU-time comparison -------------------------------------------------- *)
 
 let cpu_note () =
   section "CPU time (sections 4.1-4.2: VIP and layering use less CPU)";
+  let rows = ref [] in
   let row name mk =
     let r = measure_config mk in
-    pr "%-30s client CPU per 16 KB call: %.2f ms\n" name r.Measure.client_cpu_ms
+    pr "%-30s client CPU per 16 KB call: %.2f ms\n" name
+      r.Measure.client_cpu_ms;
+    rows :=
+      Json.Obj
+        [
+          ("table", Json.Str "cpu");
+          ("config", Json.Str name);
+          ("client_cpu_ms", Json.Float r.Measure.client_cpu_ms);
+        ]
+      :: !rows
   in
   row "M_RPC-IP" (fun w -> Stacks.mrpc w ~lower:Stacks.L_ip);
   row "M_RPC-VIP" (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip);
-  row "L_RPC-VIP" Stacks.lrpc
+  row "L_RPC-VIP" Stacks.lrpc;
+  Json.Arr (List.rev !rows)
 

@@ -1,41 +1,44 @@
 (** Experiment runners: one function per table/figure of the paper.
 
     Each prints a table of "paper / here" values to stdout, building
-    fresh simulated worlds internally.  The per-experiment index in
-    DESIGN.md maps these to the paper's artifacts; EXPERIMENTS.md
-    records representative output. *)
+    fresh simulated worlds internally, and returns the measured rows as
+    JSON (an array of row objects, or [Null] for the figure printer) so
+    callers can assemble a machine-readable results file with
+    [--json].  The per-experiment index in DESIGN.md maps these to the
+    paper's artifacts; EXPERIMENTS.md records representative output. *)
 
-val intro : unit -> unit
+val intro : unit -> Xkernel.Json.t
 (** The introduction's UDP/IP user-to-user comparison (2.00 msec in the
     x-kernel vs 5.36 in SunOS 4.0). *)
 
-val table1 : unit -> unit
+val table1 : unit -> Xkernel.Json.t
 (** Table I: N.RPC, M.RPC-ETH, M.RPC-IP, M.RPC-VIP — latency,
     throughput, incremental cost. *)
 
-val table2 : unit -> unit
+val table2 : unit -> Xkernel.Json.t
 (** Table II: monolithic vs layered RPC, plus the CPU-time note and the
     FRAGMENT-alone throughput of section 4.2. *)
 
-val table3 : unit -> unit
+val table3 : unit -> Xkernel.Json.t
 (** Table III: per-layer latency of VIP, FRAGMENT-VIP,
     CHANNEL-FRAGMENT-VIP, SELECT-CHANNEL-FRAGMENT-VIP. *)
 
-val removal : unit -> unit
+val removal : unit -> Xkernel.Json.t
 (** Section 4.3: SELECT-CHANNEL-VIPsize recovers monolithic latency
     while 16 KB messages still flow through FRAGMENT. *)
 
 val figures :
   ?fig2_extra:(host:Xkernel.Host.t -> lower:Xkernel.Proto.t -> Xkernel.Proto.t) ->
   unit ->
-  unit
+  Xkernel.Json.t
 (** Figures 1-3 as executable protocol graphs.  [fig2_extra] lets a
     caller that links layers above this library (Psync) add them to the
-    Figure 2 suite. *)
+    Figure 2 suite.  Always returns [Null]: the graphs are diagrams,
+    not measurements. *)
 
-val ablation : unit -> unit
+val ablation : unit -> Xkernel.Json.t
 (** Section 5 "Potential Pitfalls": pre-allocated header buffer vs
     per-header allocation. *)
 
-val cpu_note : unit -> unit
+val cpu_note : unit -> Xkernel.Json.t
 (** Client CPU time per 16 KB call across configurations. *)

@@ -21,6 +21,7 @@ type sess = {
   cache : (int, send_entry) Hashtbl.t; (* sent messages awaiting discard *)
   reasm : (int, reasm) Hashtbl.t;
   recent : (int, float) Hashtbl.t; (* recently completed sequence numbers *)
+  mutable prune_armed : bool; (* a sweep of [recent] is scheduled *)
   mutable xs : Proto.session option;
 }
 
@@ -54,7 +55,10 @@ let send_fragment t s (hdr, piece) =
   Machine.charge t.host.Host.mach
     [ Machine.Frag_bookkeep; Machine.Header F.bytes ];
   Stats.incr t.stats "tx-frag";
-  Proto.push s.lower_sess (Msg.push piece (F.encode hdr))
+  let frame = Msg.push piece (F.encode hdr) in
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"FRAGMENT"
+    ~dir:`Send frame;
+  Proto.push s.lower_sess frame
 
 (* Sender side: split, transmit, cache, and arm the discard timer (no
    positive acks exist, so only time frees the cache).
@@ -148,7 +152,29 @@ let prune_recent t s =
       (fun seq time acc -> if now -. time > t.cache_ttl then seq :: acc else acc)
       s.recent []
   in
-  List.iter (Hashtbl.remove s.recent) stale
+  List.iter
+    (fun seq ->
+      Hashtbl.remove s.recent seq;
+      Stats.incr t.stats "recent-pruned")
+    stale
+
+(* The dedup table must not grow without bound on a receiver whose
+   traffic stops: deliver_complete prunes on traffic, and this timer
+   sweeps the tail, re-arming only while entries remain (so the event
+   queue drains when the session goes quiet). *)
+let rec arm_prune_timer t s =
+  if not s.prune_armed then begin
+    s.prune_armed <- true;
+    ignore
+      (Event.schedule t.host t.cache_ttl (fun () ->
+           s.prune_armed <- false;
+           prune_recent t s;
+           if Hashtbl.length s.recent > 0 then arm_prune_timer t s))
+  end
+
+let note_recent t s seq =
+  Hashtbl.replace s.recent seq (Sim.now (Host.sim t.host));
+  arm_prune_timer t s
 
 let deliver_complete t s msg =
   prune_recent t s;
@@ -159,7 +185,7 @@ let handle_data t s (hdr : F.t) piece =
   let seq = hdr.F.sequence_num in
   if Hashtbl.mem s.recent seq then Stats.incr t.stats "rx-dup-complete"
   else if hdr.F.num_frags = 1 then begin
-    Hashtbl.replace s.recent seq (Sim.now (Host.sim t.host));
+    note_recent t s seq;
     deliver_complete t s piece
   end
   else begin
@@ -202,7 +228,7 @@ let handle_data t s (hdr : F.t) piece =
             else Stats.incr t.stats "rx-dup-frag";
             if entry.have = full_mask num then begin
               Hashtbl.remove s.reasm seq;
-              Hashtbl.replace s.recent seq (Sim.now (Host.sim t.host));
+              note_recent t s seq;
               let whole =
                 Array.fold_left
                   (fun acc piece -> Msg.append acc (Option.get piece))
@@ -238,6 +264,7 @@ let make_session t ~upper ~peer ~proto_num =
       cache = Hashtbl.create 8;
       reasm = Hashtbl.create 8;
       recent = Hashtbl.create 16;
+      prune_armed = false;
       xs = None;
     }
   in
@@ -272,9 +299,14 @@ let find_or_create t ~peer ~proto_num =
       | Some upper -> Some (make_session t ~upper ~peer ~proto_num)
       | None -> None)
 
+let recent_count t =
+  Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.recent) t.sessions 0
+
 let input t msg =
   Machine.charge t.host.Host.mach
     [ Machine.Header F.bytes; Machine.Frag_bookkeep ];
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"FRAGMENT"
+    ~dir:`Recv msg;
   match Msg.pop msg F.bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (raw, rest) -> (
@@ -330,7 +362,7 @@ let create ~host ~lower ?(proto_num = 92) ?(frag_size = 1024)
       p;
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

@@ -48,6 +48,10 @@ val max_message : t -> int
 (** 16 × fragment size: the largest message one FRAGMENT sequence
     number can carry. *)
 
+val recent_count : t -> int
+(** Total entries in the recently-completed dedup tables across all
+    sessions — bounded by the prune timer; exposed for tests. *)
+
 (** Participants: like VIP — [Ip peer] + [Ip_proto n].  Sessions answer
     [Get_peer_host], [Get_frag_size], [Get_max_packet]
     (= [max_message]), [Get_opt_packet] (= fragment size).  The protocol
@@ -56,4 +60,4 @@ val max_message : t -> int
 
     Statistics: ["tx-msg"], ["tx-frag"], ["rx-msg"], ["rx-frag"],
     ["nack-tx"], ["nack-rx"], ["retransmit"], ["cache-drop"],
-    ["give-up"]. *)
+    ["give-up"], ["recent-pruned"]. *)

@@ -57,7 +57,7 @@ let create ~host ~channel ?(proto_num = 94) () =
       p;
       on_receive = None;
       sessions = Hashtbl.create 4;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

@@ -233,7 +233,7 @@ let create ~host ~lower ?(proto_num = 95) ?(timeout = 0.025) ?(retries = 4) ()
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 8;
       next_xid = 0;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

@@ -1,8 +1,9 @@
-type t = Timeout | Rebooted | Remote of int
+type t = Timeout | Rebooted | Busy | Remote of int
 
 let to_string = function
   | Timeout -> "timeout"
   | Rebooted -> "server rebooted"
+  | Busy -> "channel busy"
   | Remote s -> Printf.sprintf "remote status %d" s
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

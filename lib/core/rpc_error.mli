@@ -5,6 +5,9 @@ type t =
   | Rebooted
       (** the server's boot id changed while the call was outstanding;
           at-most-once semantics cannot say whether the procedure ran *)
+  | Busy
+      (** a transaction is already outstanding on this channel; the
+          call was rejected without transmitting anything *)
   | Remote of int  (** server-reported status (e.g. unknown command) *)
 
 val pp : Format.formatter -> t -> unit

@@ -53,7 +53,10 @@ let call c ~command msg =
   let hdr =
     S.encode { S.typ = S.typ_request; command; status = S.status_ok }
   in
-  let result = Channel.call t.channel chan_sess (Msg.push msg hdr) in
+  let request = Msg.push msg hdr in
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"SELECT"
+    ~dir:`Send request;
+  let result = Channel.call t.channel chan_sess request in
   Queue.add chan_sess c.free;
   Sim.Semaphore.v c.free_sem;
   Machine.charge t.host.Host.mach [ Machine.Layer_crossing ];
@@ -77,6 +80,8 @@ let register t ~command handler = Hashtbl.replace t.handlers command handler
    channel session the request arrived on. *)
 let input t ~lower msg =
   Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"SELECT"
+    ~dir:`Recv msg;
   match Msg.pop msg S.bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (raw, body) -> (
@@ -100,7 +105,10 @@ let input t ~lower msg =
               S.encode
                 { S.typ = S.typ_reply; command = hdr.S.command; status }
             in
-            Proto.push lower (Msg.push reply_body rhdr)
+            let reply = Msg.push reply_body rhdr in
+            Trace.packet (Host.sim t.host) ~host:t.host.Host.name
+              ~proto:"SELECT" ~dir:`Send reply;
+            Proto.push lower reply
           end)
 
 let serve t =
@@ -112,7 +120,7 @@ let calls_handled t = Stats.get t.stats "handled"
 let create ~host ~channel ?(proto_num = 90) () =
   let p = Proto.create ~host ~name:"SELECT" () in
   let t =
-    { host; channel; proto_num; p; handlers = Hashtbl.create 16; stats = Stats.create () }
+    { host; channel; proto_num; p; handlers = Hashtbl.create 16; stats = Proto.stats p }
   in
   Proto.set_ops p
     {

@@ -41,7 +41,7 @@ let input t ~lower msg =
             | Ok reply_body -> Msg.push reply_body (reply_hdr S.status_ok)
             | Error (Rpc_error.Remote status) ->
                 Msg.of_string (reply_hdr status)
-            | Error (Rpc_error.Timeout | Rpc_error.Rebooted) ->
+            | Error (Rpc_error.Timeout | Rpc_error.Rebooted | Rpc_error.Busy) ->
                 Msg.of_string (reply_hdr S.status_error)
           in
           Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
@@ -65,7 +65,7 @@ let create ~host ~channel ~delegate ?(proto_num = 90) () =
       p;
       sel;
       client = None;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

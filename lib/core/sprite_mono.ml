@@ -534,7 +534,7 @@ let create ~host ~lower ?(proto_num = 91) ?(frag_size = 1024)
       servers = Hashtbl.create 16;
       server_boots = Hashtbl.create 4;
       handlers = Hashtbl.create 16;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

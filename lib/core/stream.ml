@@ -298,7 +298,7 @@ let create ~host ~lower ?(proto_num = 99) ?(window = 8) ?segment_size
       p;
       conns = Hashtbl.create 4;
       deliver = None;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

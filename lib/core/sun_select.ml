@@ -124,7 +124,7 @@ let serve t = t.transaction.x_serve ~upper:t.p
 let create ~host ~transaction =
   let p = Proto.create ~host ~name:"SUN_SELECT" () in
   let t =
-    { host; transaction; p; handlers = Hashtbl.create 16; stats = Stats.create () }
+    { host; transaction; p; handlers = Hashtbl.create 16; stats = Proto.stats p }
   in
   Proto.set_ops p
     {

@@ -143,7 +143,7 @@ let create ~host ~eth =
       table = Hashtbl.create 16;
       pending = Hashtbl.create 8;
       bcast = None;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   add_entry t host.Host.ip host.Host.eth;

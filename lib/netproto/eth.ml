@@ -43,6 +43,8 @@ let make_session t ~upper ~peer ~typ =
   let self () = Option.get !cell in
   let push msg =
     Stats.incr t.stats "tx";
+    Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"ETH"
+      ~dir:`Send msg;
     Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
     let hdr = encode_header ~dst:peer ~src:t.host.Host.eth ~typ in
     Netdev.transmit t.dev (Msg.push msg hdr)
@@ -95,6 +97,8 @@ let input t msg =
       if not for_me then Stats.incr t.stats "rx-other"
       else begin
         Stats.incr t.stats "rx";
+        Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"ETH"
+          ~dir:`Recv rest;
         match Hashtbl.find_opt t.sessions (session_key ~peer:src ~typ) with
         | Some xs -> Proto.pop xs rest
         | None -> (
@@ -114,7 +118,7 @@ let create ~host ~dev =
       p;
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 16;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   let ops =

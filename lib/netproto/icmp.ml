@@ -140,7 +140,7 @@ let create ~host ~ip =
       pending = Hashtbl.create 8;
       observer = None;
       sessions = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   Proto.set_ops p

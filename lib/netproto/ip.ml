@@ -150,6 +150,8 @@ let lower_payload _t iface =
 
 (* Emit one datagram (fragmenting as needed) toward [dst]. *)
 let send_datagram t ~src ~dst ~proto_num ~ttl msg =
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"IP"
+    ~dir:`Send msg;
   Machine.charge t.host.Host.mach [ Machine.Route_lookup ];
   match route t dst with
   | None -> Stats.incr t.stats "no-route"
@@ -237,6 +239,8 @@ let open_session t ~upper part =
   | None -> make_session t ~upper ~peer ~proto_num
 
 let deliver_up t ~src ~dst ~proto_num ~ttl msg =
+  Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"IP"
+    ~dir:`Recv msg;
   match Hashtbl.find_opt t.sessions (session_key ~peer:src ~proto_num) with
   | Some xs -> Proto.pop xs msg
   | None -> (
@@ -397,7 +401,7 @@ let create ~host ~ifaces ?gateway ?(forward = false) ?(ttl = 32) () =
       reassembly = Hashtbl.create 16;
       next_ident = 1;
       error_hook = None;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   let ops =

@@ -119,7 +119,7 @@ let create ~host ~lower ?(proto_num = 200) ?(max_msg = 1480) ?port
       sessions = Hashtbl.create 4;
       pending = Hashtbl.create 8;
       next_seq = 1;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   let no_sessions _ = invalid_arg "Probe has no upper sessions" in

@@ -168,7 +168,7 @@ let create ~host ~lower ?(checksum = false) () =
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 8;
       next_ephemeral = 49152;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   let ops =

@@ -78,6 +78,8 @@ let make_session t ~upper ~peer_ip ~proto_num =
   let cell = ref None in
   let self () = Option.get !cell in
   let push msg =
+    Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"VIP"
+      ~dir:`Send msg;
     (* The single test in VIP push (its cost is the Virtual_op charged
        by Proto.push). *)
     match (eth_sess, ip_sess) with
@@ -140,6 +142,8 @@ let input t ~lower msg =
   match Lower_id.identify ~arp:t.arp lower with
   | None -> Stats.incr t.stats "rx-unidentified"
   | Some (peer_ip, proto_num) -> (
+      Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"VIP"
+        ~dir:`Recv msg;
       match
         Hashtbl.find_opt t.sessions (Addr.Ip.to_int peer_ip, proto_num)
       with
@@ -163,7 +167,7 @@ let create ~host ~eth ~ip ~arp ?adv () =
       p;
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   let ops =

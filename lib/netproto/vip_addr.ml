@@ -54,7 +54,7 @@ let open_session t ~upper part =
 
 let create ~host ~eth ~ip ~arp =
   let p = Proto.create ~host ~name:"VIPaddr" ~virtual_:true () in
-  let t = { host; eth; ip; arp; p; stats = Stats.create () } in
+  let t = { host; eth; ip; arp; p; stats = Proto.stats p } in
   let ops =
     {
       Proto.open_ = (fun ~upper part -> open_session t ~upper part);

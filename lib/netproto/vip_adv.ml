@@ -76,7 +76,7 @@ let input t msg =
 let create ~host ~eth =
   let p = Proto.create ~host ~name:"VIP-ADV" () in
   let t =
-    { host; eth; p; table = Hashtbl.create 8; bcast = None; stats = Stats.create () }
+    { host; eth; p; table = Hashtbl.create 8; bcast = None; stats = Proto.stats p }
   in
   Proto.set_ops p
     {

@@ -122,7 +122,7 @@ let create ~host ~bulk ~direct ~arp =
       p;
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats = Proto.stats p;
     }
   in
   let ops =

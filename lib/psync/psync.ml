@@ -242,7 +242,7 @@ let blocked cv = List.length cv.waiting
 let create ~host ~lower ?(proto_num = 97) () =
   let p = Proto.create ~host ~name:"PSYNC" () in
   let t =
-    { host; lower; proto_num; p; convs = Hashtbl.create 4; stats = Stats.create () }
+    { host; lower; proto_num; p; convs = Hashtbl.create 4; stats = Proto.stats p }
   in
   Proto.set_ops p
     {

@@ -1,0 +1,20 @@
+(** Minimal JSON documents.
+
+    Just enough to export measurement rows and the {!Stats} registry —
+    a value type plus a serializer; no parsing, no external
+    dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with standard string escaping. *)
+
+val write_file : string -> t -> unit
+(** [write_file path t] writes [to_string t] plus a trailing newline. *)

@@ -4,6 +4,7 @@ type t = {
   virtual_ : bool;
   mutable p_below : t list;
   mutable p_ops : ops option;
+  p_stats : Stats.t;
 }
 
 and ops = {
@@ -14,7 +15,7 @@ and ops = {
   p_control : Control.req -> Control.reply;
 }
 
-and session = { s_name : string; s_proto : t; s_ops : session_ops }
+and session = { s_name : string; s_id : int; s_proto : t; s_ops : session_ops }
 
 and session_ops = {
   push : Msg.t -> unit;
@@ -24,7 +25,14 @@ and session_ops = {
 }
 
 let create ~host ~name ?(virtual_ = false) () =
-  { p_name = name; p_host = host; virtual_; p_below = []; p_ops = None }
+  {
+    p_name = name;
+    p_host = host;
+    virtual_;
+    p_below = [];
+    p_ops = None;
+    p_stats = Stats.create ~name:(host.Host.name ^ "/" ^ name) ();
+  }
 
 let set_ops p ops =
   match p.p_ops with
@@ -33,6 +41,7 @@ let set_ops p ops =
 
 let name p = p.p_name
 let host p = p.p_host
+let stats p = p.p_stats
 let is_virtual p = p.virtual_
 let declare_below p below = p.p_below <- below
 let below p = p.p_below
@@ -51,16 +60,32 @@ let crossing_op p =
   if p.virtual_ then Machine.Virtual_op else Machine.Layer_crossing
 
 let deliver p ~lower msg =
+  Stats.incr p.p_stats "demuxes";
+  Stats.incr p.p_stats "crossings";
+  Stats.add p.p_stats "demux-bytes" (Msg.length msg);
   Machine.charge p.p_host.Host.mach [ crossing_op p ];
   (ops p).demux ~lower msg
 
+let session_counter = ref 0
+
 let make_session p ?name s_ops =
-  { s_name = Option.value name ~default:p.p_name; s_proto = p; s_ops }
+  Stdlib.incr session_counter;
+  {
+    s_name = Option.value name ~default:p.p_name;
+    s_id = !session_counter;
+    s_proto = p;
+    s_ops;
+  }
 
 let session_name s = s.s_name
 let session_proto s = s.s_proto
+let session_id s = s.s_id
 
 let push s msg =
+  let st = s.s_proto.p_stats in
+  Stats.incr st "pushes";
+  Stats.incr st "crossings";
+  Stats.add st "push-bytes" (Msg.length msg);
   Machine.charge s.s_proto.p_host.Host.mach [ crossing_op s.s_proto ];
   s.s_ops.push msg
 

@@ -71,6 +71,14 @@ val name : t -> string
 val host : t -> Host.t
 val is_virtual : t -> bool
 
+val stats : t -> Stats.t
+(** The protocol's counter table, created (and registered globally as
+    ["host/NAME"]) by {!create}.  {!push} and {!deliver} account layer
+    crossings here (["pushes"], ["demuxes"], ["crossings"],
+    ["push-bytes"], ["demux-bytes"]); protocol implementations add
+    their own counters to the same table so one {!Stats.dump} shows
+    everything. *)
+
 val declare_below : t -> t list -> unit
 (** Record the static protocol graph (who this protocol was configured
     on top of) — used only by {!pp_graph}, mirroring the configuration
@@ -87,8 +95,9 @@ val control : t -> Control.req -> Control.reply
 
 val deliver : t -> lower:session -> Msg.t -> unit
 (** [deliver p ~lower msg] invokes [p]'s [demux] from below, charging
-    one receive-side layer crossing on [p]'s host.  This is the single
-    procedure call between layers on the inbound path. *)
+    one receive-side layer crossing on [p]'s host and counting
+    ["demuxes"]/["crossings"]/["demux-bytes"] in {!stats}.  This is the
+    single procedure call between layers on the inbound path. *)
 
 (* Session constructors and operations. *)
 
@@ -99,9 +108,16 @@ val make_session : t -> ?name:string -> session_ops -> session
 val session_name : session -> string
 val session_proto : session -> t
 
+val session_id : session -> int
+(** A process-unique integer identifying this session — usable as a
+    hash key where the session record itself cannot be (its closures
+    rule out structural equality). *)
+
 val push : session -> Msg.t -> unit
 (** [push s msg] sends [msg] down through [s], charging one send-side
-    layer crossing on the owning host. *)
+    layer crossing on the owning host and counting
+    ["pushes"]/["crossings"]/["push-bytes"] in the owning protocol's
+    {!stats}. *)
 
 val pop : session -> Msg.t -> unit
 (** [pop s msg] delivers [msg] up into [s]; charged as part of the

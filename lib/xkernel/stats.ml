@@ -1,18 +1,55 @@
-type t = (string, int) Hashtbl.t
+type t = { tbl : (string, int) Hashtbl.t; s_name : string option }
 
-let create () = Hashtbl.create 16
+(* Named tables, in creation order.  A plain list: benches create many
+   worlds per process, so duplicate names are expected and kept. *)
+let registry : t list ref = ref []
+
+let create ?name () =
+  let t = { tbl = Hashtbl.create 16; s_name = name } in
+  (match name with Some _ -> registry := t :: !registry | None -> ());
+  t
+
+let name t = t.s_name
 
 let add t name n =
-  let cur = Option.value (Hashtbl.find_opt t name) ~default:0 in
-  Hashtbl.replace t name (cur + n)
+  let cur = Option.value (Hashtbl.find_opt t.tbl name) ~default:0 in
+  Hashtbl.replace t.tbl name (cur + n)
 
 let incr t name = add t name 1
-let get t name = Option.value (Hashtbl.find_opt t name) ~default:0
-let reset = Hashtbl.reset
+let get t name = Option.value (Hashtbl.find_opt t.tbl name) ~default:0
+let reset t = Hashtbl.reset t.tbl
 
 let to_list t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let registered () =
+  List.rev_map (fun t -> (Option.get t.s_name, t)) !registry
+
+let find name =
+  (* First registered wins, so a freshly-reset registry gives
+     deterministic lookups even if names repeat later. *)
+  List.fold_left
+    (fun acc t -> match acc with Some _ -> acc | None when t.s_name = Some name -> Some t | None -> acc)
+    None (List.rev !registry)
+
+let reset_registry () = registry := []
+let dump () = List.map (fun (n, t) -> (n, to_list t)) (registered ())
+
+let json () =
+  Json.Arr
+    (List.map
+       (fun (n, t) ->
+         Json.Obj
+           [
+             ("name", Json.Str n);
+             ( "counters",
+               Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (to_list t))
+             );
+           ])
+       (registered ()))
+
+let to_json () = Json.to_string (json ())
 
 let control t = function
   | Control.Get_stat name -> Control.R_int (get t name)

@@ -1,19 +1,52 @@
-(** Named event counters.
+(** Named event counters with a global registry.
 
     Every protocol keeps a counter table exported through
     [control (Get_stat name)]; tests and benches read them to assert
     packet counts (e.g. "FRAGMENT handles 16 messages but CHANNEL and
-    SELECT handle only one", section 4.2). *)
+    SELECT handle only one", section 4.2).
+
+    Tables created with [~name] additionally register themselves in a
+    process-wide registry so one {!dump} (or {!to_json}) call returns
+    every protocol's counters at once — the observability companion to
+    the paper's per-layer measurements. *)
 
 type t
 
-val create : unit -> t
+val create : ?name:string -> unit -> t
+(** A fresh, empty table.  With [~name] the table is also added to the
+    global registry ({!registered}, {!dump}, {!to_json}).  Protocol
+    tables are conventionally named ["host/PROTO"], e.g.
+    ["h0.0/CHANNEL"]. *)
+
+val name : t -> string option
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int
 val reset : t -> unit
+
 val to_list : t -> (string * int) list
 (** Sorted by name. *)
+
+(* The registry. *)
+
+val registered : unit -> (string * t) list
+(** All named tables, in creation order (duplicate names possible when
+    several worlds live in one process). *)
+
+val find : string -> t option
+(** First registered table with that name. *)
+
+val dump : unit -> (string * (string * int) list) list
+(** Every named table with its sorted counters. *)
+
+val json : unit -> Json.t
+(** {!dump} as a JSON array of [{"name", "counters"}] objects. *)
+
+val to_json : unit -> string
+
+val reset_registry : unit -> unit
+(** Forget all registered tables (the tables themselves survive).
+    Tests call this for isolation between worlds. *)
 
 val control : t -> Control.req -> Control.reply
 (** Handles [Get_stat] and [Flush_cache] (reset); [Unsupported]

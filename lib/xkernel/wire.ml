@@ -133,15 +133,17 @@ let transmit w ~from msg =
     in
     List.iter apply faults;
     let deliver_to tap =
-      if tap.tap_id <> from.tap_id then begin
-        w.st <- { w.st with delivered = w.st.delivered + 1 };
-        let m = !delivered_msg in
-        for _copy = 1 to !copies do
+      if tap.tap_id <> from.tap_id then
+        (* Corruption damages the original transmission; a Duplicate is
+           an independent clean copy.  [delivered] counts every copy
+           actually handed to a tap. *)
+        for copy = 1 to !copies do
+          let m = if copy = 1 then !delivered_msg else msg in
+          w.st <- { w.st with delivered = w.st.delivered + 1 };
           ignore
             (Sim.after w.w_sim (w.propagation +. !extra_delay) (fun () ->
                  tap.recv m))
         done
-      end
     in
     List.iter deliver_to w.taps
   end

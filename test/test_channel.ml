@@ -6,11 +6,11 @@ module Channel = Rpc.Channel
 let proto_num = 90
 
 (* CHANNEL-FRAGMENT-VIP with a counting echo server above CHANNEL. *)
-let setup ?(server = fun msg -> msg) w =
+let setup ?(server = fun msg -> msg) ?(n_channels = 8) w =
   let n0 = World.node w 0 and n1 = World.node w 1 in
   let mk (n : World.node) =
     let f = Fragment.create ~host:n.World.host ~lower:(Netproto.Vip.proto n.World.vip) () in
-    Channel.create ~host:n.World.host ~lower:(Fragment.proto f) ()
+    Channel.create ~host:n.World.host ~lower:(Fragment.proto f) ~n_channels ()
   in
   let ch0 = mk n0 and ch1 = mk n1 in
   let executions = ref 0 in
@@ -232,17 +232,94 @@ let concurrent_channels () =
   Tutil.check_int "three executions" 3 !execs
 
 let busy_channel_rejected () =
+  (* A second concurrent call on the same channel is rejected with
+     [Busy] — without crashing, and without disturbing the first. *)
   let w = World.create () in
-  let ch0, _, sess, _ = setup w in
+  let ch0, _, sess, execs = setup w in
   let s = sess 0 in
-  let raised = ref false in
-  World.spawn w (fun () -> ignore (Channel.call ch0 s (Msg.of_string "first")));
+  let first = ref None and second = ref None in
   World.spawn w (fun () ->
-      match Channel.call ch0 s (Msg.of_string "second") with
-      | exception Invalid_argument _ -> raised := true
-      | _ -> ());
+      first := Some (Channel.call ch0 s (Msg.of_string "first")));
+  World.spawn w (fun () ->
+      second := Some (Channel.call ch0 s (Msg.of_string "second")));
   World.run w;
-  Alcotest.(check bool) "busy channel rejected" true !raised
+  Alcotest.(check bool) "first call completed" true
+    (match !first with Some (Ok r) -> Msg.to_string r = "first" | _ -> false);
+  Alcotest.(check bool) "second rejected as busy" true
+    (!second = Some (Error Rpc.Rpc_error.Busy));
+  Tutil.check_int "server executed once" 1 !execs;
+  Tutil.check_int "busy counted" 1 (Tutil.stat (Channel.proto ch0) "call-busy")
+
+let uniform_busy_push_dropped () =
+  (* A uniform-path push while a transaction is outstanding used to
+     raise (a remotely-triggerable crash); now it is counted and
+     dropped, and the channel keeps working afterwards. *)
+  let w = World.create () in
+  let n0 = World.node w 0 in
+  let ch0, _, _, execs = setup w in
+  let replies = ref 0 in
+  let up = Proto.create ~host:n0.World.host ~name:"UP" () in
+  Proto.set_ops up
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "up");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "up");
+      open_done = (fun ~upper:_ _ -> invalid_arg "up");
+      demux = (fun ~lower:_ _ -> incr replies);
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  let n1 = World.node w 1 in
+  let s =
+    Tutil.run_in w (fun () ->
+        Proto.open_ (Channel.proto ch0) ~upper:up
+          (Part.v
+             ~local:
+               [
+                 Part.Ip n0.World.host.Host.ip;
+                 Part.Ip_proto proto_num;
+                 Part.Channel 0;
+               ]
+             ~remotes:
+               [ [ Part.Ip n1.World.host.Host.ip; Part.Ip_proto proto_num ] ]
+             ()))
+  in
+  Tutil.run_in w (fun () ->
+      Proto.push s (Msg.of_string "one");
+      (* Still outstanding: this second push must be dropped, not raise. *)
+      Proto.push s (Msg.of_string "two"));
+  Tutil.check_int "first reply came up" 1 !replies;
+  Tutil.check_int "server executed once" 1 !execs;
+  Tutil.check_int "drop counted" 1
+    (Tutil.stat (Channel.proto ch0) "uniform-busy");
+  (* The channel is usable again once the transaction finished. *)
+  Tutil.run_in w (fun () -> Proto.push s (Msg.of_string "three"));
+  Tutil.check_int "later push succeeds" 2 !replies
+
+let many_sessions_constant_call () =
+  (* Regression for the O(n) session scan in Channel.call: with 64 open
+     channels every call must still resolve its session directly. *)
+  let w = World.create () in
+  let ch0, _, sess, execs = setup ~n_channels:64 w in
+  let sessions = List.init 64 sess in
+  List.iteri
+    (fun i s ->
+      match call w ch0 s (Msg.of_string (string_of_int i)) with
+      | Ok r -> Tutil.check_str "echo" (string_of_int i) (Msg.to_string r)
+      | Error e -> Alcotest.failf "call %d failed: %s" i (Rpc.Rpc_error.to_string e))
+    sessions;
+  Tutil.check_int "all executed" 64 !execs;
+  (* A session that belongs to a different CHANNEL instance is still
+     rejected: the reverse table is per protocol object. *)
+  let other = Channel.create ~host:(World.node w 0).World.host
+      ~lower:(Fragment.proto
+                (Fragment.create ~host:(World.node w 0).World.host
+                   ~lower:(Netproto.Vip.proto (World.node w 0).World.vip)
+                   ~proto_num:77 ()))
+      ~proto_num:78 ()
+  in
+  Alcotest.(check bool) "foreign session rejected" true
+    (match Tutil.run_in w (fun () -> Channel.call other (List.hd sessions) Msg.empty) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 let channel_out_of_range () =
   let w = World.create () in
@@ -264,6 +341,10 @@ let () =
           Alcotest.test_case "sequential reuse" `Quick sequential_calls_reuse_channel;
           Alcotest.test_case "concurrent channels" `Quick concurrent_channels;
           Alcotest.test_case "busy channel rejected" `Quick busy_channel_rejected;
+          Alcotest.test_case "uniform busy push dropped" `Quick
+            uniform_busy_push_dropped;
+          Alcotest.test_case "64 sessions: O(1) call" `Quick
+            many_sessions_constant_call;
           Alcotest.test_case "channel id bounded" `Quick channel_out_of_range;
         ] );
       ( "at-most-once",

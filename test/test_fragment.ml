@@ -137,6 +137,30 @@ let duplicate_suppression () =
      + Tutil.stat (Fragment.proto f1) "rx-dup-complete"
     > 0)
 
+let idle_receiver_prunes_recent () =
+  (* The dedup table used to be pruned only on the next delivery, so a
+     receiver whose traffic stopped kept every completed sequence number
+     forever.  The prune timer must empty it once the cache TTL (2 s)
+     has passed with no traffic. *)
+  let w = World.create () in
+  let _, f1, sess, got = setup w in
+  let while_hot = ref 0 in
+  (* One fiber sends everything, then samples the table while the
+     traffic is still fresh; the run then idles until the event queue —
+     prune timers included — drains. *)
+  Tutil.run_in w (fun () ->
+      for i = 1 to 20 do
+        Proto.push sess (Msg.of_string (string_of_int i))
+      done;
+      Sim.delay w.World.sim 0.05;
+      while_hot := Fragment.recent_count f1);
+  Tutil.check_int "all delivered" 20 (List.length !got);
+  Tutil.check_int "dedup table populated while hot" 20 !while_hot;
+  Tutil.check_int "dedup table empty after idling" 0
+    (Fragment.recent_count f1);
+  Tutil.check_int "prunes counted" 20
+    (Tutil.stat (Fragment.proto f1) "recent-pruned")
+
 let resend_is_new_message () =
   (* A higher-level retransmission through FRAGMENT gets a fresh
      sequence number and is delivered again: FRAGMENT does not dedup
@@ -223,6 +247,8 @@ let () =
           Alcotest.test_case "gives up eventually" `Quick gives_up_after_nack_retries;
           Alcotest.test_case "duplicate suppression" `Quick duplicate_suppression;
           Alcotest.test_case "re-push is a new message" `Quick resend_is_new_message;
+          Alcotest.test_case "idle receiver prunes dedup table" `Quick
+            idle_receiver_prunes_recent;
           Alcotest.test_case "reorder within message" `Quick reorder_within_message;
           Alcotest.test_case "max message enforced" `Quick max_message_enforced;
           prop_integrity_under_faults;

@@ -88,6 +88,29 @@ let corrupt_fault () =
   | _ -> Alcotest.fail "expected one delivery");
   Tutil.check_int "stats corrupted" 1 (Wire.stats wire).Wire.corrupted
 
+let duplicate_and_corrupt_accounting () =
+  (* One frame, duplicated and corrupted, one receiving tap: [delivered]
+     counts both scheduled copies, the corruption hits only the original
+     transmission, and the duplicate carries the clean bits. *)
+  let sim, wire = mk () in
+  Wire.set_fault_hook wire
+    (Some (fun _ _ -> [ Wire.Duplicate; Wire.Corrupt 0 ]));
+  let tap0 = Wire.attach wire ~recv:(fun _ -> ()) in
+  let received = ref [] in
+  let _ = attach_recv wire received in
+  Sim.spawn sim (fun () -> Wire.transmit wire ~from:tap0 (Msg.of_string "ok"));
+  Sim.run sim;
+  let st = Wire.stats wire in
+  Tutil.check_int "frames" 1 st.Wire.frames;
+  Tutil.check_int "delivered counts both copies" 2 st.Wire.delivered;
+  Tutil.check_int "duplicated" 1 st.Wire.duplicated;
+  Tutil.check_int "corrupted" 1 st.Wire.corrupted;
+  match List.sort compare !received with
+  | [ a; b ] ->
+      Alcotest.(check bool) "exactly one copy corrupted" true
+        (List.length (List.filter (String.equal "ok") [ a; b ]) = 1)
+  | l -> Alcotest.failf "expected two deliveries, got %d" (List.length l)
+
 let reorder_fault () =
   let sim, wire = mk () in
   Wire.set_fault_hook wire
@@ -152,6 +175,8 @@ let () =
           Alcotest.test_case "drop" `Quick drop_fault;
           Alcotest.test_case "duplicate" `Quick duplicate_fault;
           Alcotest.test_case "corrupt" `Quick corrupt_fault;
+          Alcotest.test_case "duplicate+corrupt accounting" `Quick
+            duplicate_and_corrupt_accounting;
           Alcotest.test_case "reorder delay" `Quick reorder_fault;
           Alcotest.test_case "deterministic randomness" `Quick
             probabilistic_drops_deterministic;
