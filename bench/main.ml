@@ -159,6 +159,7 @@ let () =
           () );
       ("ablation", E.ablation ());
       ("cpu_note", E.cpu_note ());
+      ("loss_sweep", E.loss_sweep ());
     ]
   in
   microbench ();

@@ -26,6 +26,7 @@ let experiments =
           () );
     ("ablation", E.ablation);
     ("cpu", E.cpu_note);
+    ("loss", E.loss_sweep);
   ]
 
 let write_json path doc =
@@ -60,7 +61,7 @@ let stack_builders =
     ("mrpc-eth", fun w -> Rpc.Stacks.mrpc w ~lower:Rpc.Stacks.L_eth);
     ("mrpc-ip", fun w -> Rpc.Stacks.mrpc w ~lower:Rpc.Stacks.L_ip);
     ("mrpc-vip", fun w -> Rpc.Stacks.mrpc w ~lower:Rpc.Stacks.L_vip);
-    ("lrpc", Rpc.Stacks.lrpc);
+    ("lrpc", fun w -> Rpc.Stacks.lrpc w);
     ("lrpc-vipsize", Rpc.Stacks.lrpc_vip_size);
   ]
 

@@ -6,6 +6,7 @@ type outstanding = {
   iv : (Msg.t, Rpc_error.t) result Sim.Ivar.ivar option;
       (* [Some _]: a blocked {!call}; [None]: uniform push, reply goes up *)
   payload : Msg.t;
+  sent_at : float; (* first transmission time, for the RTT sample *)
   mutable timer : Event.t option;
   mutable tries_left : int;
   mutable acked : bool; (* explicit ACK received: server is working *)
@@ -27,6 +28,11 @@ type sess = {
   mutable client_boot : int;
   mutable cached_reply : Msg.t option; (* encoded, ready to retransmit *)
   mutable busy : bool;
+  (* adaptive RTO estimator (Jacobson), per channel *)
+  mutable srtt : float; (* negative: no sample yet *)
+  mutable rttvar : float;
+  mutable backoff : int; (* consecutive timeouts on the current transaction *)
+  mutable last_len : int; (* last request length, for effective-RTO queries *)
 }
 
 type t = {
@@ -39,6 +45,9 @@ type t = {
   base_timeout : float;
   per_frag_timeout : float;
   retries : int;
+  adaptive : bool;
+  rto_max : float;
+  rng : Random.State.t; (* the simulator's seeded stream (backoff jitter) *)
   p : Proto.t;
   sessions : (int * int * int, sess) Hashtbl.t; (* (peer, proto, chan) *)
   by_id : (int, sess) Hashtbl.t; (* Proto.session_id xs -> sess *)
@@ -66,18 +75,61 @@ let transmit t s hdr payload =
     ~dir:`Send encoded;
   Proto.push s.lower_sess encoded
 
-(* Step-function timeout: short for single-fragment requests; long
-   enough for multi-fragment ones that the fragmentation layer below is
-   surely done transmitting. *)
-let request_timeout t s len =
+let nfrags s len =
   let frag_size =
     match Proto.session_control s.lower_sess Control.Get_frag_size with
     | Control.R_int n when n > 0 -> n
     | _ -> len + 1 (* lower layer does not fragment *)
   in
-  let nfrags = max 1 ((len + frag_size - 1) / frag_size) in
-  if nfrags <= 1 then t.base_timeout
-  else t.base_timeout +. (float_of_int nfrags *. t.per_frag_timeout)
+  max 1 ((len + frag_size - 1) / frag_size)
+
+(* Step-function timeout: short for single-fragment requests; long
+   enough for multi-fragment ones that the fragmentation layer below is
+   surely done transmitting. *)
+let request_timeout t s len =
+  let n = nfrags s len in
+  if n <= 1 then t.base_timeout
+  else t.base_timeout +. (float_of_int n *. t.per_frag_timeout)
+
+(* Effective RTO.  Before the first RTT sample (and whenever adaptation
+   is off) this is exactly the paper's step function, so a loss-free run
+   is indistinguishable from the fixed-timeout stack.  Once a sample
+   exists, Jacobson's estimate takes over, floored by the
+   fragment-serialization component alone — the part of the step
+   function that measures how long the layer below is still busy — and
+   capped at [rto_max]. *)
+let request_rto t s len =
+  if (not t.adaptive) || s.srtt < 0. then request_timeout t s len
+  else
+    let floor = float_of_int (nfrags s len) *. t.per_frag_timeout in
+    Float.min t.rto_max (Float.max (s.srtt +. (4. *. s.rttvar)) floor)
+
+(* Karn's backoff persistence: [s.backoff] carries over into the next
+   transaction and is only cleared by a valid sample.  Under sustained
+   RTT inflation Karn's rule starves the estimator (every transaction
+   retransmits, so none yields a sample); keeping the backed-off RTO
+   until a transaction completes cleanly is what lets it converge. *)
+let backed_rto t s len =
+  let rto = request_rto t s len in
+  if s.backoff = 0 then rto
+  else Float.min t.rto_max (rto *. (2. ** float_of_int s.backoff))
+
+(* Jacobson's estimator: alpha = 1/8, beta = 1/4. *)
+let observe_rtt t s r =
+  if s.srtt < 0. then begin
+    s.srtt <- r;
+    s.rttvar <- r /. 2.
+  end
+  else begin
+    let err = r -. s.srtt in
+    s.rttvar <- (0.75 *. s.rttvar) +. (0.25 *. Float.abs err);
+    s.srtt <- s.srtt +. (0.125 *. err)
+  end;
+  s.backoff <- 0;
+  Stats.incr t.stats "rtt-sample";
+  (* Gauges (microseconds): the most recent sample on any channel. *)
+  Stats.set t.stats "srtt-us" (int_of_float (s.srtt *. 1e6));
+  Stats.set t.stats "rto-us" (int_of_float (request_rto t s s.last_len *. 1e6))
 
 let cancel_timer t o =
   match o.timer with
@@ -105,6 +157,35 @@ let complete t s outcome =
           | Ok reply -> Proto.deliver s.upper ~lower:(Option.get s.xs) reply
           | Error _ -> Stats.incr t.stats "uniform-error"))
 
+(* Crash teardown for one session, from a {!Host.at_reboot} hook.  Runs
+   outside any fiber, so nothing here may charge the machine or yield:
+   timers die via {!Event.abort}, callers are woken with [Rebooted].
+   State is reset {e in place} — upper layers (SELECT) hold on to the
+   exported session handles, and those must stay valid across a reboot;
+   the fresh boot id is what makes the sequence-number reset safe. *)
+let crash_session t s =
+  (match s.out with
+  | Some o -> (
+      s.out <- None;
+      (match o.timer with
+      | Some ev ->
+          ignore (Event.abort ev);
+          o.timer <- None
+      | None -> ());
+      match o.iv with
+      | Some iv -> Sim.Ivar.fill iv (Error Rpc_error.Rebooted)
+      | None -> Stats.incr t.stats "uniform-error")
+  | None -> ());
+  s.next_seq <- 0;
+  s.server_boot <- None;
+  s.last_seq <- 0;
+  s.client_boot <- 0;
+  s.cached_reply <- None;
+  s.busy <- false;
+  s.srtt <- -1.;
+  s.rttvar <- 0.;
+  s.backoff <- 0
+
 let rec arm_timer t s o timeout =
   o.timer <-
     Some
@@ -125,6 +206,16 @@ let rec arm_timer t s o timeout =
                  transmit t s hdr o.payload;
                  let patience =
                    if o.acked then t.base_timeout *. 4.
+                   else if t.adaptive then begin
+                     (* Exponential backoff on the effective RTO, capped,
+                        with a little seeded jitter so a fleet of channels
+                        that timed out together does not retransmit in
+                        lockstep forever. *)
+                     s.backoff <- s.backoff + 1;
+                     Stats.incr t.stats "rto-backoff";
+                     backed_rto t s (Msg.length o.payload + C.bytes)
+                     *. (1. +. (0.1 *. Random.State.float t.rng 1.))
+                   end
                    else request_timeout t s (Msg.length o.payload + C.bytes)
                  in
                  arm_timer t s o patience
@@ -136,15 +227,26 @@ let send_request_free t s ~iv payload =
      last_seq = 0, so the first request must compare greater. *)
   s.next_seq <- s.next_seq + 1;
   let seq = s.next_seq in
-  let o = { o_seq = seq; iv; payload; timer = None; tries_left = t.retries; acked = false } in
+  let o =
+    {
+      o_seq = seq;
+      iv;
+      payload;
+      sent_at = Sim.now (Host.sim t.host);
+      timer = None;
+      tries_left = t.retries;
+      acked = false;
+    }
+  in
   s.out <- Some o;
+  s.last_len <- Msg.length payload + C.bytes;
   Stats.incr t.stats "req-tx";
   (* The synchronisation intrinsic to request/reply: the calling
      process blocks until the reply wakes it. *)
   Machine.charge t.host.Host.mach
     [ Machine.Semaphore_op; Machine.Process_switch ];
   transmit t s (header t s ~flags:Wire_fmt.Flags.request ~seq ~error:0) payload;
-  arm_timer t s o (request_timeout t s (Msg.length payload + C.bytes))
+  arm_timer t s o (backed_rto t s (Msg.length payload + C.bytes))
 
 let send_request t s ~iv payload =
   match s.out with
@@ -211,6 +313,12 @@ let handle_reply t s (hdr : C.t) body =
   match s.out with
   | Some o when hdr.C.sequence_num = o.o_seq -> (
       Stats.incr t.stats "reply-rx";
+      if t.adaptive then
+        if o.tries_left = t.retries then
+          (* Karn's rule: a retransmitted transaction yields no sample —
+             the reply cannot be matched to a particular transmission. *)
+          observe_rtt t s (Sim.now (Host.sim t.host) -. o.sent_at)
+        else Stats.incr t.stats "karn-skip";
       let reboot_detected =
         match s.server_boot with
         | Some b when b <> hdr.C.boot_id -> true
@@ -267,6 +375,10 @@ let make_session t ~upper ~peer ~proto_num ~chan =
       client_boot = 0;
       cached_reply = None;
       busy = false;
+      srtt = -1.;
+      rttvar = 0.;
+      backoff = 0;
+      last_len = C.bytes;
     }
   in
   let push msg =
@@ -280,7 +392,12 @@ let make_session t ~upper ~peer ~proto_num ~chan =
     | Control.Get_my_host -> Control.R_ip t.host.Host.ip
     | Control.Get_peer_proto | Control.Get_my_proto -> Control.R_int proto_num
     | Control.Get_channel_count -> Control.R_int t.chans
-    | Control.Get_timeout -> Control.R_float t.base_timeout
+    (* The *effective* retransmission timeout for a request the size of
+       the last one sent: fragment-aware, and adaptive once the channel
+       has an RTT estimate. *)
+    | Control.Get_timeout | Control.Get_rto ->
+        Control.R_float (request_rto t s s.last_len)
+    | Control.Get_srtt -> Control.R_float (Float.max s.srtt 0.)
     | ( Control.Get_frag_size | Control.Get_max_packet
       | Control.Get_opt_packet ) as req ->
         Proto.session_control s.lower_sess req
@@ -375,7 +492,8 @@ let call t xs msg =
   Sim.Ivar.read iv
 
 let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
-    ?(base_timeout = 0.02) ?(per_frag_timeout = 0.003) ?(retries = 5) () =
+    ?(base_timeout = 0.02) ?(per_frag_timeout = 0.003) ?(retries = 5)
+    ?(adaptive = true) ?(rto_max = 1.0) () =
   let p = Proto.create ~host ~name:"CHANNEL" () in
   let t =
     {
@@ -386,6 +504,9 @@ let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
       base_timeout;
       per_frag_timeout;
       retries;
+      adaptive;
+      rto_max;
+      rng = Sim.rng (Host.sim host);
       p;
       sessions = Hashtbl.create 32;
       by_id = Hashtbl.create 32;
@@ -418,4 +539,9 @@ let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
           | req -> Stats.control t.stats req);
     };
   Proto.declare_below p [ lower ];
+  (* A crash takes every channel with it: at-most-once state, reply
+     caches and RTT estimates all belong to the dead incarnation. *)
+  Host.at_reboot host (fun () ->
+      Stats.incr t.stats "crash-reset";
+      Hashtbl.iter (fun _ s -> crash_session t s) t.sessions);
   t

@@ -20,7 +20,22 @@
     it as a separate protocol: single-fragment requests use a short
     timeout; multi-fragment requests wait long enough to be sure the
     fragmentation layer is not still transmitting (the fragment count is
-    read from the lower session with [control Get_frag_size]). *)
+    read from the lower session with [control Get_frag_size]).
+
+    On top of the step function each channel keeps an adaptive
+    retransmission timeout: Jacobson's SRTT/RTTVAR estimate
+    (RTO = srtt + 4 x rttvar) with Karn's rule (retransmitted
+    transactions yield no sample), exponential backoff with a cap and
+    seeded jitter.  The step function still governs until the first RTT
+    sample, and its fragment-serialization component remains a hard
+    floor, so a loss-free run behaves exactly like the fixed-timeout
+    stack while a lossy or congested one converges to the real RTT.
+
+    Crash/restart: {!create} registers a {!Xkernel.Host.at_reboot} hook
+    that resets every channel in place — outstanding callers are woken
+    with [Error Rebooted], timers die, at-most-once reply caches and RTT
+    estimates are cleared — while the session handles upper layers hold
+    stay valid for the next incarnation. *)
 
 type t
 
@@ -32,6 +47,8 @@ val create :
   ?base_timeout:float ->
   ?per_frag_timeout:float ->
   ?retries:int ->
+  ?adaptive:bool ->
+  ?rto_max:float ->
   unit ->
   t
 (** [proto_num] (default 93) is CHANNEL's own protocol number toward
@@ -39,7 +56,12 @@ val create :
     protocol).  [n_channels] (default 8) is Sprite's fixed, predefined channel
     count.  Timeout step function: [base_timeout] (default 20 ms) for
     single-fragment requests; plus [per_frag_timeout] (default 3 ms) per
-    expected fragment otherwise.  [retries] defaults to 5. *)
+    expected fragment otherwise.  [retries] defaults to 5.
+
+    [adaptive] (default [true]) enables the per-channel RTT estimator;
+    [false] gives the paper's fixed step-function timeout on every
+    transmission.  [rto_max] (default 1 s) caps the adaptive RTO and its
+    exponential backoff. *)
 
 val proto : t -> Xkernel.Proto.t
 val n_channels : t -> int
@@ -61,6 +83,13 @@ val call :
     incoming request is delivered up, and the upper protocol replies by
     pushing into the session the request arrived on.
 
+    Session control: [Get_timeout] and [Get_rto] both report the
+    {e effective} RTO for a request the size of the last one sent —
+    fragment-aware, adaptive once a sample exists; [Get_srtt] reports
+    the smoothed RTT (0 before the first sample).
+
     Statistics: ["req-tx"], ["req-rx"], ["reply-tx"], ["reply-rx"],
     ["retransmit"], ["ack-tx"], ["ack-rx"], ["dup-req"],
-    ["cached-reply-tx"], ["stale-rx"]. *)
+    ["cached-reply-tx"], ["stale-rx"]; estimator: ["rtt-sample"],
+    ["karn-skip"], ["rto-backoff"], ["crash-reset"], and gauges
+    ["srtt-us"] / ["rto-us"]. *)

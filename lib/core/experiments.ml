@@ -112,7 +112,7 @@ let table2 () =
   section "Table II: Monolithic RPC versus Layered RPC";
   print_header ();
   let mono = measure_config (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip) in
-  let layered = measure_config Stacks.lrpc in
+  let layered = measure_config (fun w -> Stacks.lrpc w) in
   print_row "M_RPC-VIP" (paper ~lat:1.79 ~tput:860. ~incr:1.04 ()) mono;
   print_row "L_RPC-VIP" (paper ~lat:1.93 ~tput:839. ~incr:1.03 ()) layered;
   pr "\nCPU time per 16 KB call (client): monolithic %.2f ms, layered %.2f ms\n"
@@ -352,5 +352,105 @@ let cpu_note () =
   row "M_RPC-IP" (fun w -> Stacks.mrpc w ~lower:Stacks.L_ip);
   row "M_RPC-VIP" (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip);
   row "L_RPC-VIP" Stacks.lrpc;
+  Json.Arr (List.rev !rows)
+
+(* --- loss sweep: fixed vs adaptive retransmission timeout ---------------- *)
+
+let loss_rates = [ 0.0; 0.02; 0.05; 0.10; 0.20 ]
+
+let loss_sweep () =
+  section "Loss sweep: fixed vs adaptive retransmission timeout";
+  (* Null RPCs from [conc] concurrent client fibers over [conc]
+     channels.  Concurrency matters: contention for the two hosts' CPUs
+     inflates the round trip well past the fixed 20 ms step, so the
+     fixed stack retransmits spuriously while the adaptive one tracks
+     the real RTT — on top of whatever the configured drop rate does. *)
+  let conc = 48 and warm = 4 and calls = 12 in
+  pr "%d fibers x %d null calls per config (after %d warm-up calls each);\n"
+    conc calls warm;
+  pr "same world seed per rate; warm-up retransmissions excluded\n\n";
+  pr "%6s %10s %6s %8s %12s %12s %10s\n" "drop" "config" "ok" "failed"
+    "retransmits" "elapsed ms" "calls/s";
+  hr ();
+  let run ~adaptive ~rate =
+    Stats.reset_registry ();
+    let w = World.create () in
+    let e = Stacks.lrpc ~adaptive ~n_channels:conc w in
+    let chan_stat name =
+      match Stats.find (e.Stacks.client_host.Host.name ^ "/CHANNEL") with
+      | Some st -> Stats.get st name
+      | None -> 0
+    in
+    let ok = ref 0 and failed = ref 0 in
+    let retr0 = ref 0 in
+    let t0 = ref 0. and t1 = ref 0. in
+    (* Loss-free warm-up at full concurrency, so both stacks enter the
+       measured phase converged on the congested round-trip time the
+       concurrency produces. *)
+    let warm_left = ref conc in
+    let measure () =
+      retr0 := chan_stat "retransmit";
+      Wire.set_drop_rate w.World.wire rate;
+      t0 := Sim.now w.World.sim;
+      let remaining = ref conc in
+      for _ = 1 to conc do
+        Sim.spawn w.World.sim (fun () ->
+            for _ = 1 to calls do
+              match e.Stacks.call ~command:Stacks.cmd_null Msg.empty with
+              | Ok _ -> incr ok
+              | Error _ -> incr failed
+            done;
+            decr remaining;
+            if !remaining = 0 then t1 := Sim.now w.World.sim)
+      done
+    in
+    for _ = 1 to conc do
+      World.spawn w (fun () ->
+          for _ = 1 to warm do
+            ignore (e.Stacks.call ~command:Stacks.cmd_null Msg.empty)
+          done;
+          decr warm_left;
+          if !warm_left = 0 then measure ())
+    done;
+    World.run w;
+    let retr = chan_stat "retransmit" - !retr0 in
+    let elapsed = !t1 -. !t0 in
+    let config = if adaptive then "adaptive" else "fixed" in
+    let rate_s = float_of_int (conc * calls) /. elapsed in
+    pr "%5.0f%% %10s %6d %8d %12d %12.1f %10.0f\n%!" (rate *. 100.) config !ok
+      !failed retr (elapsed *. 1e3) rate_s;
+    ( retr,
+      Json.Obj
+        [
+          ("table", Json.Str "loss");
+          ("config", Json.Str config);
+          ("drop", Json.Float rate);
+          ("ok", Json.Int !ok);
+          ("failed", Json.Int !failed);
+          ("retransmits", Json.Int retr);
+          ("elapsed_ms", Json.Float (elapsed *. 1e3));
+          ("calls_per_sec", Json.Float rate_s);
+          ("srtt_us", Json.Int (chan_stat "srtt-us"));
+          ("rto_us", Json.Int (chan_stat "rto-us"));
+        ] )
+  in
+  let rows = ref [] in
+  let verdicts = ref [] in
+  List.iter
+    (fun rate ->
+      let fixed_retr, fixed_row = run ~adaptive:false ~rate in
+      let adapt_retr, adapt_row = run ~adaptive:true ~rate in
+      rows := adapt_row :: fixed_row :: !rows;
+      verdicts := (rate, fixed_retr, adapt_retr) :: !verdicts)
+    loss_rates;
+  pr "\n";
+  List.iter
+    (fun (rate, f, a) ->
+      pr "at %.0f%% loss: adaptive %d vs fixed %d retransmissions (%s)\n"
+        (rate *. 100.) a f
+        (if a < f then "adaptive wins"
+         else if a = f then "tie"
+         else "fixed wins"))
+    (List.rev !verdicts);
   Json.Arr (List.rev !rows)
 

@@ -42,3 +42,11 @@ val ablation : unit -> Xkernel.Json.t
 
 val cpu_note : unit -> Xkernel.Json.t
 (** Client CPU time per 16 KB call across configurations. *)
+
+val loss_sweep : unit -> Xkernel.Json.t
+(** Robustness: concurrent null-RPC benchmark over L.RPC-VIP at drop
+    rates 0-20%, fixed step-function timeout vs adaptive
+    (Jacobson/Karn) RTO side by side.  Reports completed/failed calls,
+    retransmission counts, elapsed virtual time and call rate; rows use
+    [table = "loss"].  Resets the {!Xkernel.Stats} registry for each
+    configuration it runs. *)

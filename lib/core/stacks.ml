@@ -66,18 +66,21 @@ let mrpc (w : World.t) ~lower =
   }
 
 (* SELECT-CHANNEL-FRAGMENT-VIP on one node. *)
-let lrpc_node (n : World.node) =
+let lrpc_node ?adaptive ?n_channels (n : World.node) =
   let frag =
     Fragment.create ~host:n.host ~lower:(Netproto.Vip.proto n.vip) ()
   in
-  let chan = Channel.create ~host:n.host ~lower:(Fragment.proto frag) () in
+  let chan =
+    Channel.create ~host:n.host ~lower:(Fragment.proto frag) ?adaptive
+      ?n_channels ()
+  in
   let sel = Select.create ~host:n.host ~channel:chan () in
   (frag, chan, sel)
 
-let lrpc (w : World.t) =
+let lrpc ?adaptive ?n_channels (w : World.t) =
   let c = World.node w 0 and s = World.node w 1 in
-  let _, _, sel_c = lrpc_node c in
-  let _, _, sel_s = lrpc_node s in
+  let _, _, sel_c = lrpc_node ?adaptive ?n_channels c in
+  let _, _, sel_s = lrpc_node ?adaptive ?n_channels s in
   standard_handlers (Select.register sel_s);
   Select.serve sel_s;
   let client = ref None in

@@ -28,9 +28,11 @@ val mrpc : Netproto.World.t -> lower:mono_lower -> endpoints
 (** Monolithic Sprite RPC over ETH, IP or VIP — Table I's M.RPC rows
     and Table II's M.RPC-VIP row. *)
 
-val lrpc : Netproto.World.t -> endpoints
+val lrpc : ?adaptive:bool -> ?n_channels:int -> Netproto.World.t -> endpoints
 (** SELECT-CHANNEL-FRAGMENT-VIP (Figure 3(a)) — L.RPC-VIP in Tables II
-    and III. *)
+    and III.  [adaptive] and [n_channels] are threaded to
+    {!Channel.create} (the loss-sweep experiment builds fixed- and
+    adaptive-timeout stacks side by side this way). *)
 
 val lrpc_vip_size : Netproto.World.t -> endpoints
 (** SELECT-CHANNEL-VIPsize with FRAGMENT below VIPsize and VIPaddr at

@@ -38,7 +38,7 @@ let create_net sim wire ~net_prefix ~count ~profile ~gateway ~eth_off =
   { sim; wire; nodes }
 
 let create ?(n = 2) ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
-  let sim = Sim.create () in
+  let sim = Sim.create ~seed () in
   let wire = Wire.create sim ~seed () in
   create_net sim wire ~net_prefix:0 ~count:n ~profile ~gateway:None ~eth_off:0
 
@@ -55,7 +55,7 @@ type internet = {
 }
 
 let create_internet ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
-  let sim = Sim.create () in
+  let sim = Sim.create ~seed () in
   let wire_w = Wire.create sim ~seed () in
   let wire_e = Wire.create sim ~seed:(seed + 1) () in
   let gw_w = Addr.Ip.v 10 0 0 254 and gw_e = Addr.Ip.v 10 0 1 254 in

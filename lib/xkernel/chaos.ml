@@ -1,0 +1,145 @@
+type spec =
+  | Partition of { a : int list; b : int list }
+  | Burst_loss of float
+  | Link_flap of { dev : int; period : float }
+  | Delay_spike of float
+  | Crash of int
+
+type window = { from_t : float; until_t : float; spec : spec }
+type plan = window list
+
+let validate ~n plan =
+  let dev i =
+    if i < 0 || i >= n then
+      invalid_arg (Printf.sprintf "Chaos: device index %d out of range" i)
+  in
+  List.iter
+    (fun w ->
+      if w.until_t < w.from_t then
+        invalid_arg "Chaos: window with until_t < from_t";
+      match w.spec with
+      | Partition { a; b } ->
+          List.iter dev a;
+          List.iter dev b
+      | Burst_loss p ->
+          if p < 0. || p > 1. then
+            invalid_arg "Chaos: loss probability outside [0, 1]"
+      | Link_flap { dev = d; period } ->
+          dev d;
+          if period <= 0. then invalid_arg "Chaos: nonpositive flap period"
+      | Delay_spike d -> if d < 0. then invalid_arg "Chaos: negative delay"
+      | Crash d -> dev d)
+    plan
+
+let apply ?(seed = 7) ~wire ~devices plan =
+  validate ~n:(Array.length devices) plan;
+  let sim = Wire.sim wire in
+  let at t f =
+    let d = t -. Sim.now sim in
+    if d <= 0. then f () else ignore (Sim.after sim d f)
+  in
+  let tap i = Netdev.attachment devices.(i) in
+  (* Both directions of one pair. *)
+  let set_pair op i j =
+    if i <> j then begin
+      op wire ~from:(tap i) ~to_:(tap j);
+      op wire ~from:(tap j) ~to_:(tap i)
+    end
+  in
+  let set_cut op a b =
+    List.iter (fun i -> List.iter (fun j -> set_pair op i j) b) a
+  in
+  (* [dev] against everyone else. *)
+  let set_link op d =
+    Array.iteri (fun j _ -> set_pair op d j) devices
+  in
+  List.iter
+    (fun w ->
+      match w.spec with
+      | Partition { a; b } ->
+          at w.from_t (fun () -> set_cut Wire.block_pair a b);
+          at w.until_t (fun () -> set_cut Wire.unblock_pair a b)
+      | Link_flap { dev; period } ->
+          (* Down for the first half of each period, up for the second;
+             guaranteed back up when the window closes. *)
+          let t = ref w.from_t in
+          while !t < w.until_t do
+            at !t (fun () -> set_link Wire.block_pair dev);
+            at (min (!t +. (period /. 2.)) w.until_t) (fun () ->
+                set_link Wire.unblock_pair dev);
+            t := !t +. period
+          done
+      | Crash d -> at w.from_t (fun () -> Host.reboot (Netdev.host devices.(d)))
+      | Burst_loss _ | Delay_spike _ -> ())
+    plan;
+  (* Loss bursts and delay spikes need a per-frame decision, so they
+     compile to a fault hook; everything above is pure scheduling. *)
+  let hooked =
+    List.filter
+      (fun w ->
+        match w.spec with Burst_loss _ | Delay_spike _ -> true | _ -> false)
+      plan
+  in
+  if hooked <> [] then begin
+    let rng = Random.State.make [| seed |] in
+    Wire.set_fault_hook wire
+      (Some
+         (fun _n msg ->
+           let t = Sim.now sim in
+           let active w = w.from_t <= t && t < w.until_t in
+           let burst =
+             List.find_map
+               (fun w ->
+                 match w.spec with
+                 | Burst_loss p when active w -> Some p
+                 | _ -> None)
+               hooked
+           in
+           let spike =
+             List.fold_left
+               (fun acc w ->
+                 match w.spec with
+                 | Delay_spike d when active w -> acc +. d
+                 | _ -> acc)
+               0. hooked
+           in
+           (* Background faults still apply, except a burst window
+              replaces the background drop decision with its own. *)
+           let faults = ref (Wire.draw_faults wire msg) in
+           if spike > 0. then faults := Wire.Delay spike :: !faults;
+           (match burst with
+           | Some p ->
+               faults := List.filter (fun f -> f <> Wire.Drop) !faults;
+               if Random.State.float rng 1. < p then
+                 faults := Wire.Drop :: !faults
+           | None -> ());
+           !faults))
+  end
+
+let spec_json = function
+  | Partition { a; b } ->
+      [
+        ("spec", Json.Str "partition");
+        ("a", Json.Arr (List.map (fun i -> Json.Int i) a));
+        ("b", Json.Arr (List.map (fun i -> Json.Int i) b));
+      ]
+  | Burst_loss p -> [ ("spec", Json.Str "burst_loss"); ("p", Json.Float p) ]
+  | Link_flap { dev; period } ->
+      [
+        ("spec", Json.Str "link_flap");
+        ("dev", Json.Int dev);
+        ("period", Json.Float period);
+      ]
+  | Delay_spike d ->
+      [ ("spec", Json.Str "delay_spike"); ("delay", Json.Float d) ]
+  | Crash d -> [ ("spec", Json.Str "crash"); ("dev", Json.Int d) ]
+
+let to_json plan =
+  Json.Arr
+    (List.map
+       (fun w ->
+         Json.Obj
+           (("from", Json.Float w.from_t)
+           :: ("until", Json.Float w.until_t)
+           :: spec_json w.spec))
+       plan)

@@ -17,6 +17,8 @@ type req =
   | Get_boot_id
   | Get_timeout
   | Set_timeout of float
+  | Get_rto
+  | Get_srtt
   | Get_retries
   | Set_retries of int
   | Get_frag_size
@@ -38,7 +40,7 @@ type reply =
   | R_string of string
   | Unsupported
 
-let op_count = 28
+let op_count = 30
 
 let shape_failure what reply_name =
   failwith (Printf.sprintf "Control: expected %s, got %s" what reply_name)
@@ -90,6 +92,8 @@ let pp_req fmt req =
     | Get_boot_id -> "Get_boot_id"
     | Get_timeout -> "Get_timeout"
     | Set_timeout t -> Printf.sprintf "Set_timeout(%g)" t
+    | Get_rto -> "Get_rto"
+    | Get_srtt -> "Get_srtt"
     | Get_retries -> "Get_retries"
     | Set_retries n -> Printf.sprintf "Set_retries(%d)" n
     | Get_frag_size -> "Get_frag_size"

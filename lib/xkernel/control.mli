@@ -30,6 +30,8 @@ type req =
   | Get_boot_id
   | Get_timeout
   | Set_timeout of float
+  | Get_rto  (** effective retransmission timeout: fragment-aware, post-backoff *)
+  | Get_srtt  (** smoothed round-trip estimate; 0 before any sample *)
   | Get_retries
   | Set_retries of int
   | Get_frag_size

@@ -26,4 +26,16 @@ let cancel host t =
   Machine.charge host.Host.mach [ Machine.Timer_op ];
   ok
 
+let abort t =
+  (* Crash teardown: cancel without charging the machine, so it is
+     safe from a reboot hook running outside any fiber. *)
+  if t.done_ then false
+  else
+    match t.ev with
+    | None -> false
+    | Some ev ->
+        let ok = Sim.cancel ev in
+        if ok then t.done_ <- true;
+        ok
+
 let cancelled_or_fired t = t.done_

@@ -17,4 +17,9 @@ val cancel : Host.t -> t -> bool
 (** [cancel host ev] cancels [ev], charging one [Timer_op]; [false] if
     the event already fired or was cancelled. *)
 
+val abort : t -> bool
+(** Like {!cancel} but free: no [Timer_op] is charged and no fiber is
+    required.  For crash teardown ({!Host.at_reboot} hooks), where the
+    machine is not executing normally. *)
+
 val cancelled_or_fired : t -> bool

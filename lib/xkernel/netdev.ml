@@ -19,6 +19,7 @@ let peek_dst msg =
     Some (Addr.Eth.v !v)
 
 let host dev = dev.nd_host
+let attachment dev = Option.get dev.tap
 
 let receive dev frame =
   (* Hardware address filter: frames for other stations cost nothing. *)

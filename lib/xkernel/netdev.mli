@@ -20,6 +20,9 @@ val create : host:Host.t -> wire:Wire.t -> t
 
 val host : t -> Host.t
 
+val attachment : t -> Wire.attachment
+(** The device's tap on the wire, for {!Wire.block_pair} and friends. *)
+
 val transmit : t -> Msg.t -> unit
 (** [transmit dev frame] queues a complete ethernet frame (header
     already pushed).  Must run in a fiber. *)

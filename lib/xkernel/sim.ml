@@ -20,13 +20,22 @@ type t = {
   mutable next_seq : int;
   mutable processed : int;
   max_events : int;
+  sim_rng : Random.State.t;
 }
 
-let create ?(max_events = 10_000_000) () =
-  { now = 0.; queue = Pq.empty; next_seq = 0; processed = 0; max_events }
+let create ?(max_events = 10_000_000) ?(seed = 42) () =
+  {
+    now = 0.;
+    queue = Pq.empty;
+    next_seq = 0;
+    processed = 0;
+    max_events;
+    sim_rng = Random.State.make [| seed |];
+  }
 
 let now t = t.now
 let pending t = Pq.cardinal t.queue
+let rng t = t.sim_rng
 
 let schedule_at t time thunk =
   let seq = t.next_seq in

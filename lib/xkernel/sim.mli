@@ -21,13 +21,19 @@ exception Stalled of string
 (** Raised by {!run} when [max_events] is exceeded — a runaway-protocol
     backstop for tests. *)
 
-val create : ?max_events:int -> unit -> t
+val create : ?max_events:int -> ?seed:int -> unit -> t
 (** [create ()] is a fresh simulator at time 0.  [max_events] (default
     10 million) bounds the total number of events one {!run} may
-    process. *)
+    process.  [seed] (default 42) seeds {!rng}. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)
+
+val rng : t -> Random.State.t
+(** The simulator's seeded random state.  Protocol-level randomness
+    (retransmission jitter, chaos plans) draws from here so whole runs
+    stay bit-reproducible; nothing in this library touches the global
+    [Random] state. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn sim f] schedules a new fiber running [f] at the current

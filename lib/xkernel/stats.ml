@@ -16,6 +16,7 @@ let add t name n =
   Hashtbl.replace t.tbl name (cur + n)
 
 let incr t name = add t name 1
+let set t name v = Hashtbl.replace t.tbl name v
 let get t name = Option.value (Hashtbl.find_opt t.tbl name) ~default:0
 let reset t = Hashtbl.reset t.tbl
 

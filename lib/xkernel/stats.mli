@@ -21,6 +21,11 @@ val create : ?name:string -> unit -> t
 val name : t -> string option
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
+
+val set : t -> string -> int -> unit
+(** [set t name v] overwrites the counter — a gauge.  CHANNEL exports
+    its smoothed RTT and current RTO (in microseconds) this way. *)
+
 val get : t -> string -> int
 val reset : t -> unit
 

@@ -7,6 +7,7 @@ type stats = {
   duplicated : int;
   corrupted : int;
   delayed : int;
+  partitioned : int;
   bytes : int;
 }
 
@@ -18,6 +19,7 @@ let zero_stats =
     duplicated = 0;
     corrupted = 0;
     delayed = 0;
+    partitioned = 0;
     bytes = 0;
   }
 
@@ -37,6 +39,7 @@ type t = {
   mutable reorder_rate : float;
   mutable reorder_jitter : float;
   mutable fault_hook : (int -> Msg.t -> fault list) option;
+  blocked : (int * int, unit) Hashtbl.t; (* (src tap, dst tap) pairs *)
   mutable frame_count : int;
   mutable st : stats;
 }
@@ -57,6 +60,7 @@ let create w_sim ?(bandwidth_bps = 10e6) ?(propagation = 5e-6) ?(seed = 42) ()
     reorder_rate = 0.;
     reorder_jitter = 0.;
     fault_hook = None;
+    blocked = Hashtbl.create 8;
     frame_count = 0;
     st = zero_stats;
   }
@@ -82,10 +86,26 @@ let set_reorder w ~rate ~jitter =
   w.reorder_jitter <- jitter
 
 let set_fault_hook w h = w.fault_hook <- h
+
+(* Partitions.  Blocking is directional and per (source, destination)
+   attachment pair; a network partition blocks both directions of every
+   pair crossing the cut.  Suppressed deliveries are counted as
+   [partitioned], not [dropped] — a partition is topology, not noise. *)
+let block_pair w ~from ~to_ =
+  Hashtbl.replace w.blocked (from.tap_id, to_.tap_id) ()
+
+let unblock_pair w ~from ~to_ =
+  Hashtbl.remove w.blocked (from.tap_id, to_.tap_id)
+
+let unblock_all w = Hashtbl.reset w.blocked
+
+let pair_blocked w ~from ~to_ =
+  Hashtbl.mem w.blocked (from.tap_id, to_.tap_id)
+
 let stats w = w.st
 let reset_stats w = w.st <- zero_stats
 
-let random_faults w msg =
+let draw_faults w msg =
   let faults = ref [] in
   let flip rate = rate > 0. && Random.State.float w.rng 1. < rate in
   if flip w.drop_rate then faults := Drop :: !faults
@@ -109,7 +129,7 @@ let transmit w ~from msg =
   let faults =
     match w.fault_hook with
     | Some hook -> hook n msg
-    | None -> random_faults w msg
+    | None -> draw_faults w msg
   in
   if List.mem Drop faults then w.st <- { w.st with dropped = w.st.dropped + 1 }
   else begin
@@ -134,6 +154,9 @@ let transmit w ~from msg =
     List.iter apply faults;
     let deliver_to tap =
       if tap.tap_id <> from.tap_id then
+        if Hashtbl.mem w.blocked (from.tap_id, tap.tap_id) then
+          w.st <- { w.st with partitioned = w.st.partitioned + 1 }
+        else
         (* Corruption damages the original transmission; a Duplicate is
            an independent clean copy.  [delivered] counts every copy
            actually handed to a tap. *)

@@ -63,6 +63,24 @@ val set_fault_hook : t -> (int -> Msg.t -> fault list) option -> unit
     from 0) and contents, return the faults to apply.  When set, the
     probabilistic knobs are ignored. *)
 
+val draw_faults : t -> Msg.t -> fault list
+(** Sample the probabilistic knobs once, advancing the wire's RNG.  A
+    custom fault hook that wants to {e add} to the background fault
+    model (rather than replace it) calls this and appends. *)
+
+(** {2 Partitions}
+
+    Directional per-(source, destination) attachment blocking, the
+    mechanism under {!Chaos} partitions and link flaps.  A suppressed
+    delivery counts as [partitioned] in {!stats} — topology, not
+    noise — and is invisible to the transmitter, exactly like a frame
+    lost beyond a dead bridge. *)
+
+val block_pair : t -> from:attachment -> to_:attachment -> unit
+val unblock_pair : t -> from:attachment -> to_:attachment -> unit
+val unblock_all : t -> unit
+val pair_blocked : t -> from:attachment -> to_:attachment -> bool
+
 type stats = {
   frames : int;  (** transmissions attempted *)
   delivered : int;  (** per-receiver deliveries *)
@@ -70,6 +88,7 @@ type stats = {
   duplicated : int;
   corrupted : int;
   delayed : int;
+  partitioned : int;  (** deliveries suppressed by {!block_pair} *)
   bytes : int;  (** on-wire byte times consumed *)
 }
 

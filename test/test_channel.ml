@@ -6,11 +6,12 @@ module Channel = Rpc.Channel
 let proto_num = 90
 
 (* CHANNEL-FRAGMENT-VIP with a counting echo server above CHANNEL. *)
-let setup ?(server = fun msg -> msg) ?(n_channels = 8) w =
+let setup ?(server = fun msg -> msg) ?(n_channels = 8) ?adaptive w =
   let n0 = World.node w 0 and n1 = World.node w 1 in
   let mk (n : World.node) =
     let f = Fragment.create ~host:n.World.host ~lower:(Netproto.Vip.proto n.World.vip) () in
-    Channel.create ~host:n.World.host ~lower:(Fragment.proto f) ~n_channels ()
+    Channel.create ~host:n.World.host ~lower:(Fragment.proto f) ~n_channels
+      ?adaptive ()
   in
   let ch0 = mk n0 and ch1 = mk n1 in
   let executions = ref 0 in
@@ -180,6 +181,39 @@ let multi_fragment_timeout_is_longer () =
   ignore (Tutil.ok_exn "16k call" (call w ch0 s (Msg.fill 16000 'x')));
   Tutil.check_int "no spurious retransmit" 0
     (Tutil.stat (Channel.proto ch0) "retransmit")
+
+let effective_timeout_reported () =
+  (* Get_timeout reports the *effective* RTO: the step function before
+     any sample, the adaptive estimate after a warm call. *)
+  let w = World.create () in
+  let ch0, _, sess, _ = setup w in
+  let s = sess 0 in
+  let get req = Control.float_exn (Proto.session_control s req) in
+  Alcotest.(check (float 1e-9)) "cold: step function" 0.02
+    (get Control.Get_timeout);
+  Alcotest.(check (float 1e-9)) "cold: no srtt" 0. (get Control.Get_srtt);
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "a")));
+  let srtt = get Control.Get_srtt in
+  Alcotest.(check bool) "srtt measured" true (srtt > 0.);
+  let rto = get Control.Get_rto in
+  Alcotest.(check (float 1e-9)) "Get_timeout = Get_rto" rto
+    (get Control.Get_timeout);
+  Alcotest.(check bool) "adaptive RTO below the fixed step" true
+    (rto < 0.02);
+  Alcotest.(check bool) "RTO covers the measured RTT" true (rto > srtt)
+
+let fixed_timeout_unchanged () =
+  (* With adaptation off the step function governs forever. *)
+  let w = World.create () in
+  let ch0, _, sess, _ = setup ~adaptive:false w in
+  let s = sess 0 in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "a")));
+  Alcotest.(check (float 1e-9)) "still the step function" 0.02
+    (Control.float_exn (Proto.session_control s Control.Get_timeout));
+  Alcotest.(check (float 1e-9)) "no srtt kept" 0.
+    (Control.float_exn (Proto.session_control s Control.Get_srtt));
+  Tutil.check_int "no samples counted" 0
+    (Tutil.stat (Channel.proto ch0) "rtt-sample")
 
 let reboot_detected () =
   let w = World.create () in
@@ -363,6 +397,10 @@ let () =
           Alcotest.test_case "slow server: explicit ack" `Quick
             slow_server_explicit_ack;
           Alcotest.test_case "timeout when server gone" `Quick timeout_when_server_gone;
+          Alcotest.test_case "effective timeout reported" `Quick
+            effective_timeout_reported;
+          Alcotest.test_case "fixed timeout unchanged" `Quick
+            fixed_timeout_unchanged;
           Alcotest.test_case "step-function timeout" `Quick
             multi_fragment_timeout_is_longer;
           Alcotest.test_case "server reboot detected" `Quick reboot_detected;

@@ -11,7 +11,7 @@ let all_builders =
     ("M.RPC-ETH", fun w -> Stacks.mrpc w ~lower:Stacks.L_eth);
     ("M.RPC-IP", fun w -> Stacks.mrpc w ~lower:Stacks.L_ip);
     ("M.RPC-VIP", fun w -> Stacks.mrpc w ~lower:Stacks.L_vip);
-    ("L.RPC-VIP", Stacks.lrpc);
+    ("L.RPC-VIP", fun w -> Stacks.lrpc w);
     ("SELECT-CHANNEL-VIPsize", Stacks.lrpc_vip_size);
   ]
 
@@ -56,7 +56,7 @@ let mono_and_layered_equivalent () =
           [ 0; 1; 1024; 5000; 16000 ])
   in
   let mono = run (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip) in
-  let layered = run Stacks.lrpc in
+  let layered = run (fun w -> Stacks.lrpc w) in
   Alcotest.(check (list string)) "identical results" mono layered
 
 let layered_under_loss_and_dup () =
@@ -110,7 +110,7 @@ let ip_penalty_significant () =
 
 let layering_costs_something_but_not_much () =
   let mono = lat (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip) in
-  let layered = lat Stacks.lrpc in
+  let layered = lat (fun w -> Stacks.lrpc w) in
   let penalty = layered -. mono in
   Alcotest.(check bool)
     (Printf.sprintf "layering penalty %.2fms in (0, 0.5)" penalty)
@@ -120,7 +120,7 @@ let layering_costs_something_but_not_much () =
 let vip_size_recovers_monolithic_latency () =
   (* Section 4.3: bypassing FRAGMENT recovers M.RPC latency. *)
   let mono = lat (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip) in
-  let layered = lat Stacks.lrpc in
+  let layered = lat (fun w -> Stacks.lrpc w) in
   let bypass = lat Stacks.lrpc_vip_size in
   Alcotest.(check bool)
     (Printf.sprintf "bypass (%.2f) < layered (%.2f)" bypass layered)
@@ -152,7 +152,7 @@ let throughputs_comparable () =
     | _ -> assert false
   in
   let mono = tput (fun w -> Stacks.mrpc w ~lower:Stacks.L_vip) in
-  let layered = tput Stacks.lrpc in
+  let layered = tput (fun w -> Stacks.lrpc w) in
   Alcotest.(check bool)
     (Printf.sprintf "mono %.0f vs layered %.0f kB/s" mono layered)
     true

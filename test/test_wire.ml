@@ -159,6 +159,30 @@ let stats_accumulate () =
   Wire.reset_stats wire;
   Tutil.check_int "reset" 0 (Wire.stats wire).Wire.frames
 
+let pair_blocking () =
+  let sim, wire = mk () in
+  let tap0 = Wire.attach wire ~recv:(fun _ -> ()) in
+  let r1 = ref [] and r2 = ref [] in
+  let t1 = attach_recv wire r1 in
+  let _t2 = attach_recv wire r2 in
+  Wire.block_pair wire ~from:tap0 ~to_:t1;
+  Tutil.check_bool "pair reported blocked" true
+    (Wire.pair_blocked wire ~from:tap0 ~to_:t1);
+  Tutil.check_bool "reverse direction open" false
+    (Wire.pair_blocked wire ~from:t1 ~to_:tap0);
+  Sim.spawn sim (fun () -> Wire.transmit wire ~from:tap0 (Msg.of_string "one"));
+  Sim.run sim;
+  (* The cut is directional and per-pair: t1 starved, t2 untouched. *)
+  Alcotest.(check (list string)) "blocked receiver" [] !r1;
+  Alcotest.(check (list string)) "other receiver" [ "one" ] !r2;
+  Tutil.check_int "partitioned counted" 1 (Wire.stats wire).Wire.partitioned;
+  Tutil.check_int "delivered counted" 1 (Wire.stats wire).Wire.delivered;
+  Wire.unblock_pair wire ~from:tap0 ~to_:t1;
+  Sim.spawn sim (fun () -> Wire.transmit wire ~from:tap0 (Msg.of_string "two"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "heals after unblock" [ "two" ] !r1;
+  Tutil.check_int "no further partitioned" 1 (Wire.stats wire).Wire.partitioned
+
 let () =
   Alcotest.run "wire"
     [
@@ -180,5 +204,6 @@ let () =
           Alcotest.test_case "reorder delay" `Quick reorder_fault;
           Alcotest.test_case "deterministic randomness" `Quick
             probabilistic_drops_deterministic;
+          Alcotest.test_case "pair blocking" `Quick pair_blocking;
         ] );
     ]
