@@ -160,6 +160,7 @@ let () =
       ("ablation", E.ablation ());
       ("cpu_note", E.cpu_note ());
       ("loss_sweep", E.loss_sweep ());
+      ("capacity", E.capacity ());
     ]
   in
   microbench ();

@@ -11,7 +11,18 @@ open Xkernel
 module World = Netproto.World
 module E = Rpc.Experiments
 
-let experiments =
+(* The capacity sweep is parameterized from the command line; every
+   other experiment is a closed (unit -> Json.t). *)
+type cap_opts = {
+  cap_stacks : string list option;
+  cap_rates : float list option;
+  cap_arrivals : int option;
+  cap_clients : int option;
+  cap_window : int option;
+  cap_conc : int list option;
+}
+
+let experiments cap =
   [
     ("intro", E.intro);
     ("t1", E.table1);
@@ -27,6 +38,11 @@ let experiments =
     ("ablation", E.ablation);
     ("cpu", E.cpu_note);
     ("loss", E.loss_sweep);
+    ( "capacity",
+      fun () ->
+        E.capacity ?stacks:cap.cap_stacks ?rates:cap.cap_rates
+          ?arrivals:cap.cap_arrivals ?clients:cap.cap_clients
+          ?window:cap.cap_window ?conc:cap.cap_conc () );
   ]
 
 let write_json path doc =
@@ -36,7 +52,8 @@ let write_json path doc =
       Printf.eprintf "xkrpc: cannot write JSON: %s\n" e;
       exit 1
 
-let run_exp json ids =
+let run_exp json cap ids =
+  let experiments = experiments cap in
   let ids = if ids = [] || List.mem "all" ids then List.map fst experiments else ids in
   let sections =
     List.map
@@ -194,11 +211,77 @@ let json_opt =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write results and the full stats dump to $(docv) as JSON")
 
+(* Comma-separated list options for the capacity sweep. *)
+let split_list conv what s =
+  try Some (List.map conv (String.split_on_char ',' (String.trim s)))
+  with _ ->
+    Printf.eprintf "xkrpc: cannot parse %s list %S\n" what s;
+    exit 1
+
+let cap_opts_term =
+  let stacks =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stacks" ] ~docv:"S1,S2"
+          ~doc:
+            "Capacity sweep: stacks to drive (mrpc-eth, mrpc-ip, mrpc-vip, \
+             lrpc)")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"R1,R2"
+          ~doc:"Capacity sweep: open-loop offered loads in calls/second")
+  in
+  let arrivals =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "arrivals" ] ~docv:"N"
+          ~doc:"Capacity sweep: arrivals per open-loop step")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "load-clients" ] ~docv:"M"
+          ~doc:"Capacity sweep: client hosts fanning into the server")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Capacity sweep: open-loop pending-call window (beyond: shed)")
+  in
+  let conc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "conc" ] ~docv:"C1,C2"
+          ~doc:"Capacity sweep: closed-loop concurrency steps (total fibers)")
+  in
+  let assemble stacks rates arrivals clients window conc =
+    {
+      cap_stacks = Option.map (fun s -> String.split_on_char ',' s) stacks;
+      cap_rates =
+        Option.bind rates (split_list float_of_string "rate");
+      cap_arrivals = arrivals;
+      cap_clients = clients;
+      cap_window = window;
+      cap_conc = Option.bind conc (split_list int_of_string "concurrency");
+    }
+  in
+  Term.(
+    const assemble $ stacks $ rates $ arrivals $ clients $ window $ conc)
+
 let exp_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run experiments by id (default: all)")
-    Term.(const run_exp $ json_opt $ ids)
+    Term.(const run_exp $ json_opt $ cap_opts_term $ ids)
 
 let config_pos =
   Arg.(value & pos 0 string "lrpc" & info [] ~docv:"CONFIG")

@@ -50,3 +50,24 @@ val loss_sweep : unit -> Xkernel.Json.t
     retransmission counts, elapsed virtual time and call rate; rows use
     [table = "loss"].  Resets the {!Xkernel.Stats} registry for each
     configuration it runs. *)
+
+val capacity :
+  ?stacks:string list ->
+  ?rates:float list ->
+  ?arrivals:int ->
+  ?clients:int ->
+  ?window:int ->
+  ?conc:int list ->
+  unit ->
+  Xkernel.Json.t
+(** Capacity sweep ({!Load} over a fan-in topology): for each stack
+    (default [["mrpc-vip"; "lrpc"]]; also accepts ["mrpc-eth"],
+    ["mrpc-ip"]) a closed-loop concurrency sweep ([conc] total fibers)
+    followed by an open-loop offered-load sweep ([rates] calls/s,
+    Poisson arrivals, [arrivals] arrivals per step, pending window
+    [window]) across [clients] client hosts into one server.  Each
+    step builds a fresh world with the default seed, so the whole
+    sweep is deterministic.  Rows use [table = "capacity"] and carry
+    achieved throughput, the p50/p90/p99/p99.9 latency summary
+    (microseconds, under ["latency_us"]), shed counts, peak server
+    queue depth and wire utilization. *)

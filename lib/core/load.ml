@@ -1,0 +1,230 @@
+open Xkernel
+module World = Netproto.World
+
+type arrival = Uniform | Poisson
+
+type result = {
+  r_config : string;
+  r_mode : string;
+  offered_rps : float;
+  achieved_rps : float;
+  arrivals : int;
+  completed : int;
+  failed : int;
+  shed : int;
+  elapsed_s : float;
+  wire_util : float;
+  queue_depth_max : int;
+  pending_max : int;
+  hist : Histogram.t;
+  per_client : Histogram.t array;
+}
+
+(* Latencies are recorded in microseconds; 100 s of range is far past
+   any retry-exhausted call. *)
+let new_hist () = Histogram.create ~max_value:100_000_000 ()
+
+let us_of seconds = int_of_float ((seconds *. 1e6) +. 0.5)
+
+let sample_interval = 0.5e-3
+
+(* Sample the server CPU's run-queue depth every [sample_interval]
+   until [stop].  The samples charge nothing, so the workload's timing
+   is unaffected. *)
+let spawn_queue_sampler (w : World.t) mach stop =
+  let peak = ref 0 in
+  World.spawn w (fun () ->
+      while not !stop do
+        let d = Machine.queue_depth mach in
+        if d > !peak then peak := d;
+        Sim.delay w.World.sim sample_interval
+      done);
+  peak
+
+let payload_of size = if size = 0 then Msg.empty else Msg.fill size 'l'
+
+let finish (f : World.fanin) (s : Stacks.fan) ~mode ~offered ~arrivals
+    ~completed ~failed ~shed ~t0 ~t_end ~bytes0 ~queue_peak ~pending_max
+    ~hists =
+  let hist = new_hist () in
+  Array.iter (fun h -> Histogram.merge_into ~src:h ~dst:hist) hists;
+  let elapsed = t_end -. t0 in
+  let wire = f.World.fan.World.wire in
+  let wire_bits = float_of_int (((Wire.stats wire).Wire.bytes - bytes0) * 8) in
+  let achieved_rps =
+    if elapsed > 0. then float_of_int completed /. elapsed else 0.
+  in
+  let wire_util =
+    if elapsed > 0. then wire_bits /. Wire.bandwidth_bps wire /. elapsed
+    else 0.
+  in
+  let st = Stats.create ~name:("load/" ^ s.Stacks.fan_name) () in
+  Stats.set st "queue-depth-max" queue_peak;
+  Stats.set st "pending-max" pending_max;
+  Stats.set st "shed" shed;
+  Stats.set st "completed" completed;
+  Stats.set st "wire-util-pct" (int_of_float (wire_util *. 100. +. 0.5));
+  {
+    r_config = s.Stacks.fan_name;
+    r_mode = mode;
+    offered_rps = offered;
+    achieved_rps;
+    arrivals;
+    completed;
+    failed;
+    shed;
+    elapsed_s = elapsed;
+    wire_util;
+    queue_depth_max = queue_peak;
+    pending_max;
+    hist;
+    per_client = hists;
+  }
+
+let run_closed ?(fibers = 8) ?(calls = 25) ?(warmup = 2) ?(think = 0.)
+    ?(size = 0) (f : World.fanin) (s : Stacks.fan) =
+  if fibers < 1 then invalid_arg "Load.run_closed: fibers < 1";
+  let w = f.World.fan in
+  let sim = w.World.sim in
+  let m = Array.length f.World.clients in
+  let hists = Array.init m (fun _ -> new_hist ()) in
+  let completed = ref 0 and failed = ref 0 in
+  let t0 = ref 0. and t_end = ref 0. and bytes0 = ref 0 in
+  let stop = ref false in
+  let queue_peak = ref (ref 0) in
+  let payload = payload_of size in
+  let gate = Sim.Ivar.create sim in
+  let warm_left = ref fibers and running = ref fibers in
+  for k = 0 to fibers - 1 do
+    let i = k mod m in
+    World.spawn w (fun () ->
+        for _ = 1 to warmup do
+          ignore (s.Stacks.fan_call i ~command:Stacks.cmd_null Msg.empty)
+        done;
+        decr warm_left;
+        if !warm_left = 0 then begin
+          (* last fiber to warm up opens the measured phase for all *)
+          t0 := Sim.now sim;
+          t_end := !t0;
+          bytes0 := (Wire.stats w.World.wire).Wire.bytes;
+          queue_peak := spawn_queue_sampler w s.Stacks.fan_server.Host.mach stop;
+          Sim.Ivar.fill gate ()
+        end;
+        Sim.Ivar.read gate;
+        for _ = 1 to calls do
+          let t = Sim.now sim in
+          (match s.Stacks.fan_call i ~command:Stacks.cmd_null payload with
+          | Ok _ -> incr completed
+          | Error _ -> incr failed);
+          let now = Sim.now sim in
+          Histogram.record hists.(i) (us_of (now -. t));
+          if now > !t_end then t_end := now;
+          if think > 0. then Sim.delay sim think
+        done;
+        decr running;
+        if !running = 0 then stop := true)
+  done;
+  World.run w;
+  let r =
+    finish f s ~mode:"closed" ~offered:0. ~arrivals:(fibers * calls)
+      ~completed:!completed ~failed:!failed ~shed:0 ~t0:!t0 ~t_end:!t_end
+      ~bytes0:!bytes0 ~queue_peak:!(!queue_peak) ~pending_max:fibers ~hists
+  in
+  (* Closed loop has no independent offered rate: it offers exactly
+     what it achieves. *)
+  { r with offered_rps = r.achieved_rps }
+
+let run_open ?(arrival = Poisson) ?(arrivals = 200) ?(window = 32)
+    ?(warmup = 1) ?(size = 0) ~rate (f : World.fanin) (s : Stacks.fan) =
+  if rate <= 0. then invalid_arg "Load.run_open: rate <= 0";
+  if window < 1 then invalid_arg "Load.run_open: window < 1";
+  let w = f.World.fan in
+  let sim = w.World.sim in
+  let m = Array.length f.World.clients in
+  let hists = Array.init m (fun _ -> new_hist ()) in
+  let completed = ref 0 and failed = ref 0 and shed = ref 0 in
+  let pending = ref 0 and pending_max = ref 0 in
+  let t0 = ref 0. and t_end = ref 0. and bytes0 = ref 0 in
+  let stop = ref false in
+  let queue_peak = ref (ref 0) in
+  let dispatched_all = ref false in
+  let payload = payload_of size in
+  let finish_if_drained () =
+    if !dispatched_all && !pending = 0 then stop := true
+  in
+  let one_call i =
+    let t = Sim.now sim in
+    (match s.Stacks.fan_call i ~command:Stacks.cmd_null payload with
+    | Ok _ -> incr completed
+    | Error _ -> incr failed);
+    let now = Sim.now sim in
+    Histogram.record hists.(i) (us_of (now -. t));
+    if now > !t_end then t_end := now;
+    decr pending;
+    finish_if_drained ()
+  in
+  let interarrival =
+    match arrival with
+    | Uniform -> fun () -> 1. /. rate
+    | Poisson ->
+        let rng = Sim.rng sim in
+        fun () -> -.log (1. -. Random.State.float rng 1.) /. rate
+  in
+  let dispatcher () =
+    t0 := Sim.now sim;
+    t_end := !t0;
+    bytes0 := (Wire.stats w.World.wire).Wire.bytes;
+    queue_peak := spawn_queue_sampler w s.Stacks.fan_server.Host.mach stop;
+    for k = 0 to arrivals - 1 do
+      (* The arrival happens whether or not we can serve it: a full
+         window sheds the call instead of queueing it unboundedly. *)
+      if !pending >= window then incr shed
+      else begin
+        incr pending;
+        if !pending > !pending_max then pending_max := !pending;
+        let i = k mod m in
+        Sim.spawn sim (fun () -> one_call i)
+      end;
+      if k < arrivals - 1 then Sim.delay sim (interarrival ())
+    done;
+    dispatched_all := true;
+    finish_if_drained ()
+  in
+  (* Warm every client host (ARP, session caches, RTT estimators)
+     before the arrival clock starts. *)
+  let warm_left = ref m in
+  for i = 0 to m - 1 do
+    World.spawn w (fun () ->
+        for _ = 1 to max 1 warmup do
+          ignore (s.Stacks.fan_call i ~command:Stacks.cmd_null Msg.empty)
+        done;
+        decr warm_left;
+        if !warm_left = 0 then Sim.spawn sim dispatcher)
+  done;
+  World.run w;
+  let mode =
+    match arrival with
+    | Uniform -> "open-uniform"
+    | Poisson -> "open-poisson"
+  in
+  finish f s ~mode ~offered:rate ~arrivals ~completed:!completed
+    ~failed:!failed ~shed:!shed ~t0:!t0 ~t_end:!t_end ~bytes0:!bytes0
+    ~queue_peak:!(!queue_peak) ~pending_max:!pending_max ~hists
+
+let to_json r =
+  Json.Obj
+    [
+      ("config", Json.Str r.r_config);
+      ("mode", Json.Str r.r_mode);
+      ("offered_rps", Json.Float r.offered_rps);
+      ("achieved_rps", Json.Float r.achieved_rps);
+      ("arrivals", Json.Int r.arrivals);
+      ("completed", Json.Int r.completed);
+      ("failed", Json.Int r.failed);
+      ("shed", Json.Int r.shed);
+      ("elapsed_ms", Json.Float (r.elapsed_s *. 1e3));
+      ("wire_util", Json.Float r.wire_util);
+      ("queue_depth_max", Json.Int r.queue_depth_max);
+      ("pending_max", Json.Int r.pending_max);
+      ("latency_us", Histogram.to_json r.hist);
+    ]

@@ -1,0 +1,99 @@
+(** Load generation: closed- and open-loop workloads with HDR latency
+    histograms.
+
+    The paper (§4) reports only averaged null-RPC round trips between
+    two hosts.  This module asks the production-scale question instead:
+    what do the latency percentiles do as offered load approaches
+    saturation, and where is the knee?  Two generator families drive a
+    {!Stacks.fan} configuration over a {!Netproto.World.fanin}
+    topology (M client hosts, one server, one wire):
+
+    - {b closed loop} ({!run_closed}): N client fibers spread across
+      the client hosts, each issuing back-to-back calls with optional
+      think time.  Offered load is implicit (throughput = concurrency /
+      round trip) and the system can never be overrun — the classic
+      benchmarking loop, which is exactly why it hides overload.
+    - {b open loop} ({!run_open}): arrivals come from a deterministic
+      or Poisson process driven by the seeded {!Xkernel.Sim} rng,
+      independent of completions.  A bounded pending-call window makes
+      overload observable: an arrival finding [window] calls already in
+      flight is {e shed} and counted, rather than queueing without
+      bound (and rather than silently slowing the arrival process —
+      the coordinated-omission trap).
+
+    Every completed call records its latency (arrival to reply, in
+    microseconds) into a per-client-host {!Xkernel.Histogram}; the
+    result carries both the per-client histograms and their merge.
+    Server run-queue depth is sampled while the workload runs and
+    exported — together with wire utilization, shed and pending peaks —
+    as gauges in a registered [load/<config>] {!Xkernel.Stats} table.
+
+    Everything is deterministic for a fixed world seed: same
+    configuration, same JSON, byte for byte. *)
+
+type arrival = Uniform | Poisson
+(** Interarrival law for {!run_open}: constant [1/rate], or
+    exponential with mean [1/rate] (memoryless — the standard model of
+    aggregated independent callers). *)
+
+type result = {
+  r_config : string;  (** {!Stacks.fan.fan_name} *)
+  r_mode : string;  (** ["closed"], ["open-uniform"] or ["open-poisson"] *)
+  offered_rps : float;
+      (** configured arrival rate (open loop); achieved rate (closed
+          loop, where offered load is implicit) *)
+  achieved_rps : float;  (** completed calls / elapsed *)
+  arrivals : int;  (** calls asked for, including shed ones *)
+  completed : int;
+  failed : int;  (** calls that returned an RPC error (e.g. Timeout) *)
+  shed : int;  (** open loop: arrivals refused at a full window *)
+  elapsed_s : float;  (** first arrival to last completion, virtual *)
+  wire_util : float;  (** fraction of wire capacity consumed, 0..1 *)
+  queue_depth_max : int;  (** peak sampled server CPU run-queue depth *)
+  pending_max : int;  (** peak calls in flight *)
+  hist : Xkernel.Histogram.t;  (** all clients merged, microseconds *)
+  per_client : Xkernel.Histogram.t array;  (** one per client host *)
+}
+
+val new_hist : unit -> Xkernel.Histogram.t
+(** A histogram configured like the ones in {!result} (microseconds,
+    up to 100 s) — mergeable with them. *)
+
+val run_closed :
+  ?fibers:int ->
+  ?calls:int ->
+  ?warmup:int ->
+  ?think:float ->
+  ?size:int ->
+  Netproto.World.fanin ->
+  Stacks.fan ->
+  result
+(** [run_closed fanin fan] spreads [fibers] (default 8) closed-loop
+    fibers round-robin across the client hosts; each issues [warmup]
+    (default 2, unrecorded) then [calls] (default 25) null-procedure
+    calls of [size] bytes (default 0), sleeping [think] seconds
+    (default 0) after each.  All fibers warm up before the measured
+    phase starts.  Drives the world to completion. *)
+
+val run_open :
+  ?arrival:arrival ->
+  ?arrivals:int ->
+  ?window:int ->
+  ?warmup:int ->
+  ?size:int ->
+  rate:float ->
+  Netproto.World.fanin ->
+  Stacks.fan ->
+  result
+(** [run_open ~rate fanin fan] dispatches [arrivals] (default 200)
+    arrivals at aggregate [rate] calls/second ([arrival] defaults to
+    {!Poisson}), round-robin across client hosts, each client host
+    having first made [warmup] (default 1) unrecorded calls.  At most
+    [window] (default 32) calls may be pending; an arrival beyond that
+    is shed.  Drives the world to completion (all pending calls
+    resolve). *)
+
+val to_json : result -> Xkernel.Json.t
+(** One row: config, mode, offered/achieved rates, counters, elapsed,
+    wire utilization, queue/pending peaks, and the merged histogram
+    summary under ["latency_us"]. *)

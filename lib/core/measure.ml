@@ -34,15 +34,19 @@ let timed_calls (w : World.t) ~iters f =
   done;
   (Sim.now w.World.sim -. t0) /. float_of_int iters
 
-let latency ?(warmup = 3) ?(iters = 50) (w : World.t) (e : Stacks.endpoints) =
+(* The shared warm-up/aggregation discipline of every latency number:
+   [warmup] unrecorded calls, then the average of [iters] timed ones,
+   in msec. *)
+let warmed_latency_ms ~warmup ~iters (w : World.t) f =
   in_fiber w (fun () ->
-      let null_call () =
-        ignore (expect_ok e.config_name (e.call ~command:Stacks.cmd_null Msg.empty))
-      in
       for _ = 1 to warmup do
-        null_call ()
+        f ()
       done;
-      timed_calls w ~iters null_call *. 1e3)
+      timed_calls w ~iters f *. 1e3)
+
+let latency ?(warmup = 3) ?(iters = 50) (w : World.t) (e : Stacks.endpoints) =
+  warmed_latency_ms ~warmup ~iters w (fun () ->
+      ignore (expect_ok e.config_name (e.call ~command:Stacks.cmd_null Msg.empty)))
 
 let sweep ?(sizes = default_sizes) ?(iters = 8) (w : World.t)
     (e : Stacks.endpoints) =
@@ -68,12 +72,8 @@ let probe_call w p ~peer ~size =
 
 let probe_latency ?(warmup = 3) ?(iters = 50) ?(size = 0) (w : World.t) p
     ~peer =
-  in_fiber w (fun () ->
-      for _ = 1 to warmup do
-        ignore (probe_call w p ~peer ~size)
-      done;
-      timed_calls w ~iters (fun () -> ignore (probe_call w p ~peer ~size))
-      *. 1e3)
+  warmed_latency_ms ~warmup ~iters w (fun () ->
+      ignore (probe_call w p ~peer ~size))
 
 let probe_sweep ?(sizes = default_sizes) ?(iters = 8) (w : World.t) p ~peer =
   in_fiber w (fun () ->
@@ -96,7 +96,11 @@ let fit_slope points =
     let sx = sum xs and sy = sum ys in
     let sxx = sum (List.map (fun x -> x *. x) xs) in
     let sxy = sum (List.map2 ( *. ) xs ys) in
-    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+    let denom = (n *. sxx) -. (sx *. sx) in
+    (* A zero-variance size series (all sizes equal) has no slope;
+       without the guard the division yields inf/nan. *)
+    if Float.abs denom <= 1e-9 *. Float.max 1. (sx *. sx) then 0.
+    else ((n *. sxy) -. (sx *. sy)) /. denom
   end
 
 let throughput_kbs ~size seconds = float_of_int size /. seconds /. 1000.

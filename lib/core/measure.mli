@@ -42,7 +42,8 @@ val probe_sweep :
 
 val fit_slope : (int * float) list -> float
 (** Least-squares slope in msec per KB over a [(bytes, seconds)]
-    series. *)
+    series.  Degenerate series — fewer than two points, or all sizes
+    equal (zero variance in x) — have no slope and return [0.]. *)
 
 val throughput_kbs : size:int -> float -> float
 (** [throughput_kbs ~size seconds] = kbytes (1000 bytes)/second. *)

@@ -65,7 +65,74 @@ let mrpc (w : World.t) ~lower =
     tops = [ Sprite_mono.proto m_c ];
   }
 
-(* SELECT-CHANNEL-FRAGMENT-VIP on one node. *)
+(* --- fan-in configurations: many client hosts, one server ------------- *)
+
+type fan = {
+  fan_name : string;
+  fan_call :
+    int -> command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+  fan_clients : Host.t array;
+  fan_server : Host.t;
+}
+
+let mrpc_fanin ?(lower = L_vip) ?n_channels (f : World.fanin) =
+  let proto_num = 91 in
+  let lower_name, lower_of =
+    match lower with
+    | L_eth -> ("ETH", fun (n : World.node) -> Netproto.Eth.proto n.eth)
+    | L_ip -> ("IP", fun (n : World.node) -> Netproto.Ip.proto n.ip)
+    | L_vip -> ("VIP", fun (n : World.node) -> Netproto.Vip.proto n.vip)
+  in
+  let s = f.World.server in
+  let m_s =
+    Sprite_mono.create ~host:s.World.host ~lower:(lower_of s) ~proto_num
+      ?n_channels ()
+  in
+  standard_handlers (Sprite_mono.register m_s);
+  let eth_type = Addr.eth_type_of_ip_proto proto_num in
+  (match lower with
+  | L_eth -> Sprite_mono.serve m_s ~enable:[ Part.Eth_type eth_type ] ()
+  | L_ip | L_vip -> Sprite_mono.serve m_s ());
+  let server_ip = s.World.host.Host.ip in
+  let mk_client (n : World.node) =
+    let m_c =
+      Sprite_mono.create ~host:n.World.host ~lower:(lower_of n) ~proto_num
+        ?n_channels ()
+    in
+    let client = ref None in
+    fun ~command msg ->
+      let cl =
+        match !client with
+        | Some cl -> cl
+        | None ->
+            let cl =
+              match lower with
+              | L_eth ->
+                  let peer_eth =
+                    match Netproto.Arp.resolve n.World.arp server_ip with
+                    | Some e -> e
+                    | None -> failwith "mrpc_fanin-eth: cannot resolve server"
+                  in
+                  Sprite_mono.connect m_c ~server:server_ip
+                    ~remote:[ Part.Eth peer_eth; Part.Eth_type eth_type ]
+                    ()
+              | L_ip | L_vip -> Sprite_mono.connect m_c ~server:server_ip ()
+            in
+            client := Some cl;
+            cl
+      in
+      Sprite_mono.call cl ~command msg
+  in
+  let calls = Array.map mk_client f.World.clients in
+  {
+    fan_name = "M.RPC-" ^ lower_name;
+    fan_call = (fun i -> calls.(i));
+    fan_clients =
+      Array.map (fun (n : World.node) -> n.World.host) f.World.clients;
+    fan_server = s.World.host;
+  }
+
+(* SELECT-CHANNEL-FRAGMENT-VIP on one node (fan-in variant below). *)
 let lrpc_node ?adaptive ?n_channels (n : World.node) =
   let frag =
     Fragment.create ~host:n.host ~lower:(Netproto.Vip.proto n.vip) ()
@@ -98,6 +165,34 @@ let lrpc ?adaptive ?n_channels (w : World.t) =
     client_host = c.host;
     server_host = s.host;
     tops = [ Select.proto sel_c ];
+  }
+
+let lrpc_fanin ?adaptive ?n_channels (f : World.fanin) =
+  let _, _, sel_s = lrpc_node ?adaptive ?n_channels f.World.server in
+  standard_handlers (Select.register sel_s);
+  Select.serve sel_s;
+  let server_ip = f.World.server.World.host.Host.ip in
+  let mk_client (n : World.node) =
+    let _, _, sel_c = lrpc_node ?adaptive ?n_channels n in
+    let client = ref None in
+    fun ~command msg ->
+      let cl =
+        match !client with
+        | Some cl -> cl
+        | None ->
+            let cl = Select.connect sel_c ~server:server_ip in
+            client := Some cl;
+            cl
+      in
+      Select.call cl ~command msg
+  in
+  let calls = Array.map mk_client f.World.clients in
+  {
+    fan_name = "L.RPC-VIP";
+    fan_call = (fun i -> calls.(i));
+    fan_clients =
+      Array.map (fun (n : World.node) -> n.World.host) f.World.clients;
+    fan_server = f.World.server.World.host;
   }
 
 (* SELECT-CHANNEL-VIPsize, with FRAGMENT moved below VIPsize and

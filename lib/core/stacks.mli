@@ -34,6 +34,34 @@ val lrpc : ?adaptive:bool -> ?n_channels:int -> Netproto.World.t -> endpoints
     {!Channel.create} (the loss-sweep experiment builds fixed- and
     adaptive-timeout stacks side by side this way). *)
 
+(** {1 Fan-in configurations}
+
+    The load subsystem ({!Load}) drives M client hosts into one server
+    over a {!Netproto.World.fanin} topology.  Each client host gets its
+    own client-side stack; the server runs a single serving stack with
+    the standard procedures registered. *)
+
+type fan = {
+  fan_name : string;
+  fan_call :
+    int -> command:int -> Xkernel.Msg.t -> (Xkernel.Msg.t, Rpc_error.t) result;
+      (** [fan_call i] runs one RPC from client host [i]; must be
+          called inside a fiber.  Calls from many fibers on the same
+          client queue on that client's channel set. *)
+  fan_clients : Xkernel.Host.t array;
+  fan_server : Xkernel.Host.t;
+}
+
+val mrpc_fanin :
+  ?lower:mono_lower -> ?n_channels:int -> Netproto.World.fanin -> fan
+(** Monolithic Sprite RPC, one instance per client host (default lower
+    [L_vip]), fanned into one server instance. *)
+
+val lrpc_fanin :
+  ?adaptive:bool -> ?n_channels:int -> Netproto.World.fanin -> fan
+(** SELECT-CHANNEL-FRAGMENT-VIP fan-in: a full layered client stack
+    per client host, one serving stack. *)
+
 val lrpc_vip_size : Netproto.World.t -> endpoints
 (** SELECT-CHANNEL-VIPsize with FRAGMENT below VIPsize and VIPaddr at
     the bottom (Figure 3(b)) — the section 4.3 configuration that

@@ -42,6 +42,17 @@ let create ?(n = 2) ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
   let wire = Wire.create sim ~seed () in
   create_net sim wire ~net_prefix:0 ~count:n ~profile ~gateway:None ~eth_off:0
 
+type fanin = { fan : t; server : node; clients : node array }
+
+let create_fanin ?(clients = 4) ?profile ?seed () =
+  if clients < 1 then invalid_arg "World.create_fanin: clients < 1";
+  let t = create ~n:(clients + 1) ?profile ?seed () in
+  {
+    fan = t;
+    server = t.nodes.(0);
+    clients = Array.sub t.nodes 1 clients;
+  }
+
 let node t i = t.nodes.(i)
 let ip_of t i = (node t i).host.Host.ip
 let run ?until t = Sim.run ?until t.sim

@@ -28,6 +28,21 @@ val create :
 (** [create ()] is two hosts ([h0] = 10.0.0.1, [h1] = 10.0.0.2) on one
     wire.  [n] adds more hosts on the same wire. *)
 
+type fanin = {
+  fan : t;
+  server : node;  (** node 0 *)
+  clients : node array;  (** nodes 1..n *)
+}
+
+val create_fanin :
+  ?clients:int -> ?profile:Xkernel.Machine.profile -> ?seed:int -> unit ->
+  fanin
+(** [create_fanin ~clients ()] is the load-generation topology: one
+    server plus [clients] (default 4) client hosts, all on one wire —
+    {!create}[ ~n:(clients+1)] with the roles named.  The load
+    subsystem ({!Rpc.Load}) fans M client hosts into the single
+    server. *)
+
 val node : t -> int -> node
 val ip_of : t -> int -> Xkernel.Addr.Ip.t
 

@@ -176,3 +176,6 @@ let charge m ops =
 
 let cpu_seconds m = m.busy
 let reset_cpu_seconds m = m.busy <- 0.
+
+let queue_depth m =
+  Sim.Semaphore.waiters m.cpu + (1 - Sim.Semaphore.count m.cpu)

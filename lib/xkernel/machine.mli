@@ -99,3 +99,8 @@ val cpu_seconds : t -> float
     comparisons (sections 4.1, 4.2). *)
 
 val reset_cpu_seconds : t -> unit
+
+val queue_depth : t -> int
+(** Fibers currently on this CPU: the holder (if any) plus everyone
+    queued behind it.  The load subsystem samples this as its
+    server-side run-queue-depth gauge. *)

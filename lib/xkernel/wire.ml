@@ -66,6 +66,7 @@ let create w_sim ?(bandwidth_bps = 10e6) ?(propagation = 5e-6) ?(seed = 42) ()
   }
 
 let sim w = w.w_sim
+let bandwidth_bps w = w.bandwidth
 
 let attach w ~recv =
   let tap = { tap_id = w.next_tap; recv } in

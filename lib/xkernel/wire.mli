@@ -25,6 +25,10 @@ val create :
 
 val sim : t -> Sim.t
 
+val bandwidth_bps : t -> float
+(** Configured serialization rate.  Together with {!stats}'s [bytes]
+    this turns on-wire byte times into a utilization figure. *)
+
 val attach : t -> recv:(Msg.t -> unit) -> attachment
 (** [attach w ~recv] connects a device; [recv] is invoked (in a fresh
     fiber, after propagation) for every frame any *other* device

@@ -1,0 +1,195 @@
+(* The workload subsystem: Histogram precision and merging, the
+   fit_slope degenerate guard, and closed-/open-loop load generation
+   over a fan-in world. *)
+open Xkernel
+module World = Netproto.World
+module Load = Rpc.Load
+module Stacks = Rpc.Stacks
+
+(* --- Histogram ----------------------------------------------------------- *)
+
+(* Below sub_count (256 at the default 8 bits) every value has its own
+   sub-bucket, so small recordings are exact. *)
+let hist_exact_small () =
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.record h v
+  done;
+  Tutil.check_int "count" 100 (Histogram.count h);
+  Tutil.check_int "min" 1 (Histogram.min_value h);
+  Tutil.check_int "max" 100 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Histogram.mean h);
+  Tutil.check_int "p50" 50 (Histogram.percentile h 50.);
+  Tutil.check_int "p90" 90 (Histogram.percentile h 90.);
+  Tutil.check_int "p100" 100 (Histogram.percentile h 100.);
+  Tutil.check_int "p0+" 1 (Histogram.percentile h 0.5)
+
+let hist_empty_and_errors () =
+  let h = Histogram.create () in
+  Tutil.check_int "empty count" 0 (Histogram.count h);
+  Tutil.check_int "empty percentile" 0 (Histogram.percentile h 99.);
+  Tutil.check_int "empty min" 0 (Histogram.min_value h);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Histogram.mean h);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Histogram.record: negative value") (fun () ->
+      Histogram.record h (-1))
+
+let hist_clamps () =
+  let h = Histogram.create ~max_value:1000 () in
+  Histogram.record h 5000;
+  Histogram.record h 7;
+  Tutil.check_int "count includes clamped" 2 (Histogram.count h);
+  Tutil.check_int "clamped" 1 (Histogram.clamped h);
+  Alcotest.(check bool) "max near cap" true (Histogram.max_value h <= 1023)
+
+(* The HDR error bound: a single recorded value comes back from
+   [percentile _ 100.] no smaller than itself and within the
+   sub-bucket width (relative error <= 2^-(bits-1)). *)
+let hist_precision =
+  Tutil.qtest ~count:500 "histogram relative error bound"
+    QCheck.(int_range 0 100_000_000)
+    (fun v ->
+      let h = Histogram.create () in
+      Histogram.record h v;
+      let got = Histogram.percentile h 100. in
+      got >= v && float_of_int (got - v) <= (float_of_int v /. 128.) +. 1.)
+
+let hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  let all = Histogram.create () in
+  List.iter
+    (fun v ->
+      Histogram.record a v;
+      Histogram.record all v)
+    [ 3; 14; 159; 2653 ];
+  List.iter
+    (fun v ->
+      Histogram.record b v;
+      Histogram.record all v)
+    [ 1; 1_000_000; 58 ];
+  Histogram.merge_into ~src:b ~dst:a;
+  Tutil.check_int "merged count" 7 (Histogram.count a);
+  Tutil.check_int "src unchanged" 3 (Histogram.count b);
+  Alcotest.(check bool) "merge == recording the union" true
+    (Histogram.to_json a = Histogram.to_json all)
+
+let hist_merge_mismatch () =
+  let a = Histogram.create ~max_value:1000 () in
+  let b = Histogram.create ~max_value:2000 () in
+  Alcotest.(check bool) "mismatched merge raises" true
+    (match Histogram.merge_into ~src:a ~dst:b with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Measure.fit_slope degenerate series --------------------------------- *)
+
+let fit_slope_degenerate () =
+  Alcotest.(check (float 0.)) "empty" 0. (Rpc.Measure.fit_slope []);
+  Alcotest.(check (float 0.)) "single point" 0.
+    (Rpc.Measure.fit_slope [ (1024, 0.001) ]);
+  Alcotest.(check (float 0.)) "zero x-variance" 0.
+    (Rpc.Measure.fit_slope [ (2048, 0.001); (2048, 0.002); (2048, 0.004) ]);
+  (* sanity: a real series still fits; 1 msec per extra KB *)
+  Alcotest.(check (float 1e-9)) "normal slope" 1.
+    (Rpc.Measure.fit_slope [ (1024, 0.001); (2048, 0.002); (3072, 0.003) ])
+
+(* --- closed loop over a fan-in world ------------------------------------- *)
+
+let closed_fanin () =
+  let f = World.create_fanin ~clients:8 () in
+  let fan = Stacks.mrpc_fanin f in
+  let r = Load.run_closed ~fibers:16 ~calls:10 f fan in
+  Tutil.check_int "every call completed" 160 r.Load.completed;
+  Tutil.check_int "no failures" 0 r.Load.failed;
+  Tutil.check_int "no shedding (closed loop)" 0 r.Load.shed;
+  Tutil.check_int "one histogram per client host" 8
+    (Array.length r.Load.per_client);
+  Tutil.check_int "global count = sum of per-client" 160
+    (Array.fold_left (fun n h -> n + Histogram.count h) 0 r.Load.per_client);
+  (* re-merging the per-client histograms reproduces the global one *)
+  let again = Load.new_hist () in
+  Array.iter (fun h -> Histogram.merge_into ~src:h ~dst:again) r.Load.per_client;
+  Alcotest.(check bool) "per-client merge == global" true
+    (Histogram.to_json again = Histogram.to_json r.Load.hist);
+  Alcotest.(check bool) "positive throughput" true (r.Load.achieved_rps > 0.);
+  Alcotest.(check bool) "some wire traffic" true (r.Load.wire_util > 0.);
+  (* the run registered its gauges *)
+  match Stats.find ("load/" ^ fan.Stacks.fan_name) with
+  | None -> Alcotest.fail "load stats table not registered"
+  | Some t -> Tutil.check_int "completed gauge" 160 (Stats.get t "completed")
+
+(* --- open loop: shed behaviour around the knee --------------------------- *)
+
+let open_below_knee () =
+  let f = World.create_fanin ~clients:4 () in
+  let r = Load.run_open ~rate:200. ~arrivals:80 f (Stacks.mrpc_fanin f) in
+  Tutil.check_int "nothing shed below the knee" 0 r.Load.shed;
+  Tutil.check_int "all arrivals completed" 80 r.Load.completed;
+  Tutil.check_int "no failures" 0 r.Load.failed;
+  Alcotest.(check bool) "achieved tracks offered (within 25%)" true
+    (Float.abs (r.Load.achieved_rps -. r.Load.offered_rps)
+    < 0.25 *. r.Load.offered_rps)
+
+let open_past_knee () =
+  let f = World.create_fanin ~clients:4 () in
+  (* ~1650 calls/s is M.RPC's ceiling here; offer 20x that into a
+     4-call window, so most arrivals find it full *)
+  let r =
+    Load.run_open ~rate:40_000. ~arrivals:120 ~window:4 f
+      (Stacks.mrpc_fanin f)
+  in
+  Alcotest.(check bool) "overload sheds" true (r.Load.shed > 0);
+  Tutil.check_int "shed + completed = arrivals" 120
+    (r.Load.shed + r.Load.completed + r.Load.failed);
+  Alcotest.(check bool) "window respected" true (r.Load.pending_max <= 4)
+
+let open_uniform_deterministic_arrivals () =
+  let f = World.create_fanin ~clients:2 () in
+  let r =
+    Load.run_open ~arrival:Load.Uniform ~rate:500. ~arrivals:50 f
+      (Stacks.lrpc_fanin f)
+  in
+  Tutil.check_int "all arrivals completed" 50 r.Load.completed;
+  Tutil.check_int "nothing shed" 0 r.Load.shed;
+  Alcotest.(check string) "mode label" "open-uniform" r.Load.r_mode
+
+(* --- determinism: identical JSON across two fresh runs ------------------- *)
+
+let sweep_deterministic () =
+  let once () =
+    let f = World.create_fanin ~clients:4 () in
+    let closed = Load.run_closed ~fibers:8 ~calls:10 f (Stacks.lrpc_fanin f) in
+    let f2 = World.create_fanin ~clients:4 () in
+    let opened =
+      Load.run_open ~rate:400. ~arrivals:60 f2 (Stacks.mrpc_fanin f2)
+    in
+    Json.to_string (Json.Arr [ Load.to_json closed; Load.to_json opened ])
+  in
+  Alcotest.(check string) "same worlds, same JSON" (once ()) (once ())
+
+let () =
+  Alcotest.run "load"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact below sub_count" `Quick hist_exact_small;
+          Alcotest.test_case "empty and errors" `Quick hist_empty_and_errors;
+          Alcotest.test_case "clamps above max_value" `Quick hist_clamps;
+          hist_precision;
+          Alcotest.test_case "merge" `Quick hist_merge;
+          Alcotest.test_case "merge mismatch" `Quick hist_merge_mismatch;
+        ] );
+      ( "measure",
+        [ Alcotest.test_case "fit_slope degenerate" `Quick fit_slope_degenerate ] );
+      ( "closed",
+        [ Alcotest.test_case "8-client fan-in" `Quick closed_fanin ] );
+      ( "open",
+        [
+          Alcotest.test_case "below knee: no shedding" `Quick open_below_knee;
+          Alcotest.test_case "past knee: sheds" `Quick open_past_knee;
+          Alcotest.test_case "uniform arrivals" `Quick
+            open_uniform_deterministic_arrivals;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "identical JSON twice" `Quick sweep_deterministic ] );
+    ]
