@@ -62,7 +62,7 @@ let make_session t ~upper ~peer ~upper_proto =
 let input t ~lower msg =
   match Proto.session_control lower Control.Get_peer_host with
   | Control.R_ip peer -> (
-      Machine.charge t.host.Host.mach [ Machine.Header fixed_bytes ];
+      Machine.charge_one t.host.Host.mach (Machine.Header fixed_bytes);
       match Msg.pop msg fixed_bytes with
       | None -> Stats.incr t.stats "rx-runt"
       | Some (raw, rest) -> (

@@ -7,6 +7,7 @@ type outstanding = {
       (* [Some _]: a blocked {!call}; [None]: uniform push, reply goes up *)
   payload : Msg.t;
   sent_at : float; (* first transmission time, for the RTT sample *)
+  sent_load : int; (* protocol-wide in-flight count when first sent *)
   mutable timer : Event.t option;
   mutable tries_left : int;
   mutable acked : bool; (* explicit ACK received: server is working *)
@@ -33,6 +34,9 @@ type sess = {
   mutable rttvar : float;
   mutable backoff : int; (* consecutive timeouts on the current transaction *)
   mutable last_len : int; (* last request length, for effective-RTO queries *)
+  mutable srtt_load : int;
+      (* in-flight count behind the current srtt estimate: the load
+         level at which its samples were taken (see {!load_scale}) *)
 }
 
 type t = {
@@ -46,6 +50,7 @@ type t = {
   per_frag_timeout : float;
   retries : int;
   adaptive : bool;
+  rto_load_floor : bool;
   rto_max : float;
   rng : Random.State.t; (* the simulator's seeded stream (backoff jitter) *)
   p : Proto.t;
@@ -53,6 +58,16 @@ type t = {
   by_id : (int, sess) Hashtbl.t; (* Proto.session_id xs -> sess *)
   enabled : (int, Proto.t) Hashtbl.t;
   stats : Stats.t;
+  mutable in_flight : int; (* outstanding requests across all sessions *)
+  (* Per-message counters, resolved once at create time (hot path). *)
+  c_rtt_sample : Stats.counter;
+  c_req_tx : Stats.counter;
+  c_reply_tx : Stats.counter;
+  c_req_rx : Stats.counter;
+  c_reply_rx : Stats.counter;
+  c_karn_skip : Stats.counter;
+  c_ack_tx : Stats.counter;
+  c_ack_rx : Stats.counter;
 }
 
 let proto t = t.p
@@ -69,7 +84,7 @@ let header t s ~flags ~seq ~error =
   }
 
 let transmit t s hdr payload =
-  Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header C.bytes);
   let encoded = Msg.push payload (C.encode hdr) in
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"CHANNEL"
     ~dir:`Send encoded;
@@ -114,8 +129,25 @@ let backed_rto t s len =
   if s.backoff = 0 then rto
   else Float.min t.rto_max (rto *. (2. ** float_of_int s.backoff))
 
+(* Load-sensitive RTO floor (the lrpc-arto cold-start storm fix).  The
+   estimator's srtt describes round trips observed while [s.srtt_load]
+   requests shared the server; when the protocol suddenly carries more
+   than that, queueing delay inflates every RTT before a single clean
+   sample can teach the estimator, and an unscaled RTO retransmits
+   straight into the backlog — each retransmission adding more load, a
+   storm.  Scaling the *armed* timeout by the in-flight ratio rides out
+   the transient; once samples arrive at the new load the ratio returns
+   to 1.  Only the armed timer is scaled: {!request_rto} (and the rto-us
+   gauge derived from it) still reports the bare estimate. *)
+let load_scale t s =
+  if
+    (not t.adaptive) || (not t.rto_load_floor) || t.in_flight <= s.srtt_load
+  then 1.
+  else float_of_int t.in_flight /. float_of_int (max 1 s.srtt_load)
+
 (* Jacobson's estimator: alpha = 1/8, beta = 1/4. *)
-let observe_rtt t s r =
+let observe_rtt t s ~load r =
+  s.srtt_load <- max 1 load;
   if s.srtt < 0. then begin
     s.srtt <- r;
     s.rttvar <- r /. 2.
@@ -126,7 +158,7 @@ let observe_rtt t s r =
     s.srtt <- s.srtt +. (0.125 *. err)
   end;
   s.backoff <- 0;
-  Stats.incr t.stats "rtt-sample";
+  Stats.tick t.c_rtt_sample;
   (* Gauges (microseconds): the most recent sample on any channel. *)
   Stats.set t.stats "srtt-us" (int_of_float (s.srtt *. 1e6));
   Stats.set t.stats "rto-us" (int_of_float (request_rto t s s.last_len *. 1e6))
@@ -147,6 +179,7 @@ let complete t s outcome =
       (* Clear the slot before anything that can yield (see
          Sprite_mono.complete_call). *)
       s.out <- None;
+      t.in_flight <- t.in_flight - 1;
       cancel_timer t o;
       Machine.charge t.host.Host.mach
         [ Machine.Semaphore_op; Machine.Process_switch ];
@@ -167,6 +200,7 @@ let crash_session t s =
   (match s.out with
   | Some o -> (
       s.out <- None;
+      t.in_flight <- t.in_flight - 1;
       (match o.timer with
       | Some ev ->
           ignore (Event.abort ev);
@@ -184,7 +218,8 @@ let crash_session t s =
   s.busy <- false;
   s.srtt <- -1.;
   s.rttvar <- 0.;
-  s.backoff <- 0
+  s.backoff <- 0;
+  s.srtt_load <- 1
 
 let rec arm_timer t s o timeout =
   o.timer <-
@@ -214,6 +249,7 @@ let rec arm_timer t s o timeout =
                      s.backoff <- s.backoff + 1;
                      Stats.incr t.stats "rto-backoff";
                      backed_rto t s (Msg.length o.payload + C.bytes)
+                     *. load_scale t s
                      *. (1. +. (0.1 *. Random.State.float t.rng 1.))
                    end
                    else request_timeout t s (Msg.length o.payload + C.bytes)
@@ -227,12 +263,14 @@ let send_request_free t s ~iv payload =
      last_seq = 0, so the first request must compare greater. *)
   s.next_seq <- s.next_seq + 1;
   let seq = s.next_seq in
+  t.in_flight <- t.in_flight + 1;
   let o =
     {
       o_seq = seq;
       iv;
       payload;
       sent_at = Sim.now (Host.sim t.host);
+      sent_load = t.in_flight;
       timer = None;
       tries_left = t.retries;
       acked = false;
@@ -240,13 +278,14 @@ let send_request_free t s ~iv payload =
   in
   s.out <- Some o;
   s.last_len <- Msg.length payload + C.bytes;
-  Stats.incr t.stats "req-tx";
+  Stats.tick t.c_req_tx;
   (* The synchronisation intrinsic to request/reply: the calling
      process blocks until the reply wakes it. *)
   Machine.charge t.host.Host.mach
     [ Machine.Semaphore_op; Machine.Process_switch ];
   transmit t s (header t s ~flags:Wire_fmt.Flags.request ~seq ~error:0) payload;
-  arm_timer t s o (backed_rto t s (Msg.length payload + C.bytes))
+  arm_timer t s o
+    (backed_rto t s (Msg.length payload + C.bytes) *. load_scale t s)
 
 let send_request t s ~iv payload =
   match s.out with
@@ -264,17 +303,17 @@ let send_request t s ~iv payload =
 
 let send_reply t s payload =
   let hdr = header t s ~flags:Wire_fmt.Flags.reply ~seq:s.last_seq ~error:0 in
-  Stats.incr t.stats "reply-tx";
+  Stats.tick t.c_reply_tx;
   s.busy <- false;
   let encoded = Msg.push payload (C.encode hdr) in
   s.cached_reply <- Some encoded;
-  Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header C.bytes);
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"CHANNEL"
     ~dir:`Send encoded;
   Proto.push s.lower_sess encoded
 
 let handle_request t s (hdr : C.t) body =
-  Stats.incr t.stats "req-rx";
+  Stats.tick t.c_req_rx;
   if hdr.C.boot_id <> s.client_boot then begin
     (* New incarnation of the client: forget the old channel state. *)
     s.client_boot <- hdr.C.boot_id;
@@ -289,11 +328,11 @@ let handle_request t s (hdr : C.t) body =
     | Some encoded ->
         (* The implicit ack (next request) never came; resend. *)
         Stats.incr t.stats "cached-reply-tx";
-        Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+        Machine.charge_one t.host.Host.mach (Machine.Header C.bytes);
         Proto.push s.lower_sess encoded
     | None ->
         if s.busy then begin
-          Stats.incr t.stats "ack-tx";
+          Stats.tick t.c_ack_tx;
           transmit t s
             (header t s ~flags:Wire_fmt.Flags.ack ~seq:hdr.C.sequence_num
                ~error:0)
@@ -305,20 +344,21 @@ let handle_request t s (hdr : C.t) body =
     s.last_seq <- hdr.C.sequence_num;
     s.cached_reply <- None;
     s.busy <- true;
-    Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+    Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
     Proto.deliver s.upper ~lower:(Option.get s.xs) body
   end
 
 let handle_reply t s (hdr : C.t) body =
   match s.out with
   | Some o when hdr.C.sequence_num = o.o_seq -> (
-      Stats.incr t.stats "reply-rx";
+      Stats.tick t.c_reply_rx;
       if t.adaptive then
         if o.tries_left = t.retries then
           (* Karn's rule: a retransmitted transaction yields no sample —
              the reply cannot be matched to a particular transmission. *)
-          observe_rtt t s (Sim.now (Host.sim t.host) -. o.sent_at)
-        else Stats.incr t.stats "karn-skip";
+          observe_rtt t s ~load:o.sent_load
+            (Sim.now (Host.sim t.host) -. o.sent_at)
+        else Stats.tick t.c_karn_skip;
       let reboot_detected =
         match s.server_boot with
         | Some b when b <> hdr.C.boot_id -> true
@@ -338,7 +378,7 @@ let handle_reply t s (hdr : C.t) body =
 let handle_ack t s (hdr : C.t) =
   match s.out with
   | Some o when hdr.C.sequence_num = o.o_seq ->
-      Stats.incr t.stats "ack-rx";
+      Stats.tick t.c_ack_rx;
       o.acked <- true
   | _ -> Stats.incr t.stats "stale-rx"
 
@@ -379,6 +419,7 @@ let make_session t ~upper ~peer ~proto_num ~chan =
       rttvar = 0.;
       backoff = 0;
       last_len = C.bytes;
+      srtt_load = 1;
     }
   in
   let push msg =
@@ -461,7 +502,7 @@ let input t ~lower msg =
       match Msg.pop msg C.bytes with
       | None -> Stats.incr t.stats "rx-runt"
       | Some (raw, body) -> (
-          Machine.charge t.host.Host.mach [ Machine.Header C.bytes ];
+          Machine.charge_one t.host.Host.mach (Machine.Header C.bytes);
           match C.decode raw with
           | None -> Stats.incr t.stats "rx-malformed"
           | Some hdr -> (
@@ -493,7 +534,7 @@ let call t xs msg =
 
 let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
     ?(base_timeout = 0.02) ?(per_frag_timeout = 0.003) ?(retries = 5)
-    ?(adaptive = true) ?(rto_max = 1.0) () =
+    ?(adaptive = true) ?(rto_load_floor = true) ?(rto_max = 1.0) () =
   let p = Proto.create ~host ~name:"CHANNEL" () in
   let t =
     {
@@ -505,6 +546,7 @@ let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
       per_frag_timeout;
       retries;
       adaptive;
+      rto_load_floor;
       rto_max;
       rng = Sim.rng (Host.sim host);
       p;
@@ -512,6 +554,15 @@ let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)
       by_id = Hashtbl.create 32;
       enabled = Hashtbl.create 8;
       stats = Proto.stats p;
+      in_flight = 0;
+      c_rtt_sample = Stats.counter (Proto.stats p) "rtt-sample";
+      c_req_tx = Stats.counter (Proto.stats p) "req-tx";
+      c_reply_tx = Stats.counter (Proto.stats p) "reply-tx";
+      c_req_rx = Stats.counter (Proto.stats p) "req-rx";
+      c_reply_rx = Stats.counter (Proto.stats p) "reply-rx";
+      c_karn_skip = Stats.counter (Proto.stats p) "karn-skip";
+      c_ack_tx = Stats.counter (Proto.stats p) "ack-tx";
+      c_ack_rx = Stats.counter (Proto.stats p) "ack-rx";
     }
   in
   Proto.set_ops p

@@ -48,6 +48,7 @@ val create :
   ?per_frag_timeout:float ->
   ?retries:int ->
   ?adaptive:bool ->
+  ?rto_load_floor:bool ->
   ?rto_max:float ->
   unit ->
   t
@@ -61,7 +62,17 @@ val create :
     [adaptive] (default [true]) enables the per-channel RTT estimator;
     [false] gives the paper's fixed step-function timeout on every
     transmission.  [rto_max] (default 1 s) caps the adaptive RTO and its
-    exponential backoff. *)
+    exponential backoff.
+
+    [rto_load_floor] (default [true]) scales the {e armed} retransmit
+    timer by the ratio of currently in-flight requests to the in-flight
+    count behind the RTT estimate.  An srtt learned at idle otherwise
+    fires prematurely the moment queueing delay under load exceeds
+    [srtt + 4*rttvar], and Karn's rule then starves the estimator of
+    the samples that would correct it — the retransmission storm the
+    adaptive fan-in stack exhibits past the capacity knee.  The scale
+    only ever lengthens the armed timer; the reported RTO gauges are
+    the bare estimate. *)
 
 val proto : t -> Xkernel.Proto.t
 val n_channels : t -> int

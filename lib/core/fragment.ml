@@ -21,6 +21,11 @@ type sess = {
   cache : (int, send_entry) Hashtbl.t; (* sent messages awaiting discard *)
   reasm : (int, reasm) Hashtbl.t;
   recent : (int, float) Hashtbl.t; (* recently completed sequence numbers *)
+  recent_q : (int * float) Queue.t;
+      (* [recent] in insertion order.  Sim time is monotone and a
+         sequence number is noted at most once, so the queue front is
+         always the oldest entry and pruning pops a prefix instead of
+         folding the whole table on every delivery. *)
   mutable prune_armed : bool; (* a sweep of [recent] is scheduled *)
   mutable xs : Proto.session option;
 }
@@ -39,6 +44,12 @@ type t = {
   sessions : (int * int, sess) Hashtbl.t; (* (peer, proto_num) *)
   enabled : (int, Proto.t) Hashtbl.t;
   stats : Stats.t;
+  (* Per-fragment counters, resolved once at create time (hot path). *)
+  c_tx_frag : Stats.counter;
+  c_tx_msg : Stats.counter;
+  c_rx_msg : Stats.counter;
+  c_rx_frag : Stats.counter;
+  c_recent_pruned : Stats.counter;
 }
 
 let proto t = t.p
@@ -54,7 +65,7 @@ let lower_part t ~peer =
 let send_fragment t s (hdr, piece) =
   Machine.charge t.host.Host.mach
     [ Machine.Frag_bookkeep; Machine.Header F.bytes ];
-  Stats.incr t.stats "tx-frag";
+  Stats.tick t.c_tx_frag;
   let frame = Msg.push piece (F.encode hdr) in
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"FRAGMENT"
     ~dir:`Send frame;
@@ -80,7 +91,7 @@ let push_message t s msg =
   else begin
     let seq = s.next_seq in
     s.next_seq <- s.next_seq + 1;
-    Stats.incr t.stats "tx-msg";
+    Stats.tick t.c_tx_msg;
     let frag i =
       let off = i * chunk in
       let this = min chunk (len - off) in
@@ -122,7 +133,7 @@ let send_nack t s ~seq ~num ~missing =
       len = 0;
     }
   in
-  Machine.charge t.host.Host.mach [ Machine.Header F.bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header F.bytes);
   Proto.push s.lower_sess (Msg.of_string (F.encode hdr))
 
 (* Receiver side: the persistence mechanism.  While a message sits
@@ -147,16 +158,16 @@ let rec arm_gap_timer t s seq =
 
 let prune_recent t s =
   let now = Sim.now (Host.sim t.host) in
-  let stale =
-    Hashtbl.fold
-      (fun seq time acc -> if now -. time > t.cache_ttl then seq :: acc else acc)
-      s.recent []
+  let rec go () =
+    match Queue.peek_opt s.recent_q with
+    | Some (seq, time) when now -. time > t.cache_ttl ->
+        ignore (Queue.pop s.recent_q);
+        Hashtbl.remove s.recent seq;
+        Stats.tick t.c_recent_pruned;
+        go ()
+    | _ -> ()
   in
-  List.iter
-    (fun seq ->
-      Hashtbl.remove s.recent seq;
-      Stats.incr t.stats "recent-pruned")
-    stale
+  go ()
 
 (* The dedup table must not grow without bound on a receiver whose
    traffic stops: deliver_complete prunes on traffic, and this timer
@@ -173,12 +184,14 @@ let rec arm_prune_timer t s =
   end
 
 let note_recent t s seq =
-  Hashtbl.replace s.recent seq (Sim.now (Host.sim t.host));
+  let now = Sim.now (Host.sim t.host) in
+  Hashtbl.replace s.recent seq now;
+  Queue.add (seq, now) s.recent_q;
   arm_prune_timer t s
 
 let deliver_complete t s msg =
   prune_recent t s;
-  Stats.incr t.stats "rx-msg";
+  Stats.tick t.c_rx_msg;
   Proto.deliver s.upper ~lower:(Option.get s.xs) msg
 
 let handle_data t s (hdr : F.t) piece =
@@ -264,6 +277,7 @@ let make_session t ~upper ~peer ~proto_num =
       cache = Hashtbl.create 8;
       reasm = Hashtbl.create 8;
       recent = Hashtbl.create 16;
+      recent_q = Queue.create ();
       prune_armed = false;
       xs = None;
     }
@@ -313,7 +327,7 @@ let input t msg =
       match F.decode raw with
       | None -> Stats.incr t.stats "rx-malformed"
       | Some hdr -> (
-          Stats.incr t.stats "rx-frag";
+          Stats.tick t.c_rx_frag;
           (* The peer is whoever sent this packet. *)
           match find_or_create t ~peer:hdr.F.clnt_host ~proto_num:hdr.F.protocol_num with
           | None -> Stats.incr t.stats "rx-unbound"
@@ -363,6 +377,11 @@ let create ~host ~lower ?(proto_num = 92) ?(frag_size = 1024)
       sessions = Hashtbl.create 16;
       enabled = Hashtbl.create 8;
       stats = Proto.stats p;
+      c_tx_frag = Stats.counter (Proto.stats p) "tx-frag";
+      c_tx_msg = Stats.counter (Proto.stats p) "tx-msg";
+      c_rx_msg = Stats.counter (Proto.stats p) "rx-msg";
+      c_rx_frag = Stats.counter (Proto.stats p) "rx-frag";
+      c_recent_pruned = Stats.counter (Proto.stats p) "recent-pruned";
     }
   in
   Proto.set_ops p

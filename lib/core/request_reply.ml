@@ -55,7 +55,7 @@ let decode raw =
   (typ, xid, proto_num)
 
 let transmit t s ~typ ~xid payload =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   Proto.push s.lower_sess
     (Msg.push payload (encode ~typ ~xid ~proto_num:s.upper_proto))
 
@@ -179,7 +179,7 @@ let call t xs msg =
 let input t ~lower msg =
   match Proto.session_control lower Control.Get_peer_host with
   | Control.R_ip peer -> (
-      Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+      Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
       match Msg.pop msg header_bytes with
       | None -> Stats.incr t.stats "rx-runt"
       | Some (raw, body) -> (
@@ -202,7 +202,7 @@ let input t ~lower msg =
                 (* Every arriving request executes: no duplicate
                    filtering at this layer. *)
                 Stats.incr t.stats "executed";
-                Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+                Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
                 s.serving_xid <- Some xid;
                 Proto.deliver s.upper ~lower:(Option.get s.xs) body;
                 (* If the upper protocol did not reply synchronously,

@@ -10,6 +10,9 @@ type t = {
   p : Proto.t;
   handlers : (int, handler) Hashtbl.t;
   stats : Stats.t;
+  (* Per-call counters, resolved once at create time (hot path). *)
+  c_call : Stats.counter;
+  c_handled : Stats.counter;
 }
 
 type client = {
@@ -47,7 +50,7 @@ let call c ~command msg =
   (* Choose one of the existing channels; block if none is available. *)
   Sim.Semaphore.p c.free_sem;
   let chan_sess = Queue.take c.free in
-  Stats.incr t.stats "call";
+  Stats.tick t.c_call;
   Machine.charge t.host.Host.mach
     [ Machine.Semaphore_op; Machine.Layer_crossing; Machine.Header S.bytes ];
   let hdr =
@@ -59,11 +62,11 @@ let call c ~command msg =
   let result = Channel.call t.channel chan_sess request in
   Queue.add chan_sess c.free;
   Sim.Semaphore.v c.free_sem;
-  Machine.charge t.host.Host.mach [ Machine.Layer_crossing ];
+  Machine.charge_one t.host.Host.mach (Machine.Layer_crossing);
   match result with
   | Error e -> Error e
   | Ok reply -> (
-      Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+      Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);
       match Msg.pop reply S.bytes with
       | None -> Error (Rpc_error.Remote S.status_error)
       | Some (raw, body) -> (
@@ -79,7 +82,7 @@ let register t ~command handler = Hashtbl.replace t.handlers command handler
 (* Server: map the command onto a procedure, run it, reply through the
    channel session the request arrived on. *)
 let input t ~lower msg =
-  Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"SELECT"
     ~dir:`Recv msg;
   match Msg.pop msg S.bytes with
@@ -90,8 +93,8 @@ let input t ~lower msg =
       | Some hdr ->
           if hdr.S.typ <> S.typ_request then Stats.incr t.stats "rx-unexpected"
           else begin
-            Stats.incr t.stats "handled";
-            Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+            Stats.tick t.c_handled;
+            Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
             let reply_body, status =
               match Hashtbl.find_opt t.handlers hdr.S.command with
               | None -> (Msg.empty, S.status_no_command)
@@ -100,7 +103,7 @@ let input t ~lower msg =
                   | Ok reply -> (reply, S.status_ok)
                   | Error s -> (Msg.empty, s))
             in
-            Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+            Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);
             let rhdr =
               S.encode
                 { S.typ = S.typ_reply; command = hdr.S.command; status }
@@ -119,8 +122,18 @@ let calls_handled t = Stats.get t.stats "handled"
 
 let create ~host ~channel ?(proto_num = 90) () =
   let p = Proto.create ~host ~name:"SELECT" () in
+  let stats = Proto.stats p in
   let t =
-    { host; channel; proto_num; p; handlers = Hashtbl.create 16; stats = Proto.stats p }
+    {
+      host;
+      channel;
+      proto_num;
+      p;
+      handlers = Hashtbl.create 16;
+      stats;
+      c_call = Stats.counter stats "call";
+      c_handled = Stats.counter stats "handled";
+    }
   in
   Proto.set_ops p
     {

@@ -26,7 +26,7 @@ let client t =
    toward the delegate, then send the delegate's answer back on the
    channel session the original request arrived on. *)
 let input t ~lower msg =
-  Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);
   match Msg.pop msg S.bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (raw, body) -> (
@@ -44,7 +44,7 @@ let input t ~lower msg =
             | Error (Rpc_error.Timeout | Rpc_error.Rebooted | Rpc_error.Busy) ->
                 Msg.of_string (reply_hdr S.status_error)
           in
-          Machine.charge t.host.Host.mach [ Machine.Header S.bytes ];
+          Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);
           Proto.push lower reply
       | Some _ -> Stats.incr t.stats "rx-unexpected"
       | None -> Stats.incr t.stats "rx-malformed")

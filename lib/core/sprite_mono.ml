@@ -207,7 +207,7 @@ let start_call t cs ~command msg =
   in
   if Array.length frags > max_frags then invalid_arg "Sprite_mono: message too large";
   let iv = Sim.Ivar.create (Host.sim t.host) in
-  Machine.charge t.host.Host.mach [ Machine.Reasm_lookup ];
+  Machine.charge_one t.host.Host.mach (Machine.Reasm_lookup);
   let o =
     {
       o_seq = seq;
@@ -314,7 +314,7 @@ let send_ack t ss ~seq ~mask =
       data2_off = 0;
     }
   in
-  Machine.charge t.host.Host.mach [ Machine.Header H.bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header H.bytes);
   Proto.push ss.s_lower (Msg.of_string (H.encode hdr))
 
 let send_reply_frags t ss frags =
@@ -325,7 +325,7 @@ let execute t ss ~seq ~command body =
   ss.busy <- true;
   ss.cached_reply <- None;
   ss.req_reasm <- None;
-  Machine.charge t.host.Host.mach [ Machine.Semaphore_op ];
+  Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
   Stats.incr t.stats "handled";
   let reply_body, flags, rcommand =
     match Hashtbl.find_opt t.handlers command with

@@ -133,21 +133,21 @@ let mrpc_fanin ?(lower = L_vip) ?n_channels (f : World.fanin) =
   }
 
 (* SELECT-CHANNEL-FRAGMENT-VIP on one node (fan-in variant below). *)
-let lrpc_node ?adaptive ?n_channels (n : World.node) =
+let lrpc_node ?adaptive ?rto_load_floor ?n_channels (n : World.node) =
   let frag =
     Fragment.create ~host:n.host ~lower:(Netproto.Vip.proto n.vip) ()
   in
   let chan =
     Channel.create ~host:n.host ~lower:(Fragment.proto frag) ?adaptive
-      ?n_channels ()
+      ?rto_load_floor ?n_channels ()
   in
   let sel = Select.create ~host:n.host ~channel:chan () in
   (frag, chan, sel)
 
-let lrpc ?adaptive ?n_channels (w : World.t) =
+let lrpc ?adaptive ?rto_load_floor ?n_channels (w : World.t) =
   let c = World.node w 0 and s = World.node w 1 in
-  let _, _, sel_c = lrpc_node ?adaptive ?n_channels c in
-  let _, _, sel_s = lrpc_node ?adaptive ?n_channels s in
+  let _, _, sel_c = lrpc_node ?adaptive ?rto_load_floor ?n_channels c in
+  let _, _, sel_s = lrpc_node ?adaptive ?rto_load_floor ?n_channels s in
   standard_handlers (Select.register sel_s);
   Select.serve sel_s;
   let client = ref None in
@@ -167,13 +167,15 @@ let lrpc ?adaptive ?n_channels (w : World.t) =
     tops = [ Select.proto sel_c ];
   }
 
-let lrpc_fanin ?adaptive ?n_channels (f : World.fanin) =
-  let _, _, sel_s = lrpc_node ?adaptive ?n_channels f.World.server in
+let lrpc_fanin ?adaptive ?rto_load_floor ?n_channels (f : World.fanin) =
+  let _, _, sel_s =
+    lrpc_node ?adaptive ?rto_load_floor ?n_channels f.World.server
+  in
   standard_handlers (Select.register sel_s);
   Select.serve sel_s;
   let server_ip = f.World.server.World.host.Host.ip in
   let mk_client (n : World.node) =
-    let _, _, sel_c = lrpc_node ?adaptive ?n_channels n in
+    let _, _, sel_c = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
     let client = ref None in
     fun ~command msg ->
       let cl =
@@ -244,7 +246,7 @@ let channel_echo ~host ~channel:chan =
       open_done = (fun ~upper:_ _ -> invalid_arg "chan-echo");
       demux =
         (fun ~lower msg ->
-          Machine.charge host.Host.mach [ Machine.Layer_crossing ];
+          Machine.charge_one host.Host.mach (Machine.Layer_crossing);
           Proto.push lower msg);
       p_control = (fun _ -> Control.Unsupported);
     };

@@ -28,10 +28,15 @@ val mrpc : Netproto.World.t -> lower:mono_lower -> endpoints
 (** Monolithic Sprite RPC over ETH, IP or VIP — Table I's M.RPC rows
     and Table II's M.RPC-VIP row. *)
 
-val lrpc : ?adaptive:bool -> ?n_channels:int -> Netproto.World.t -> endpoints
+val lrpc :
+  ?adaptive:bool ->
+  ?rto_load_floor:bool ->
+  ?n_channels:int ->
+  Netproto.World.t ->
+  endpoints
 (** SELECT-CHANNEL-FRAGMENT-VIP (Figure 3(a)) — L.RPC-VIP in Tables II
-    and III.  [adaptive] and [n_channels] are threaded to
-    {!Channel.create} (the loss-sweep experiment builds fixed- and
+    and III.  [adaptive], [rto_load_floor] and [n_channels] are threaded
+    to {!Channel.create} (the loss-sweep experiment builds fixed- and
     adaptive-timeout stacks side by side this way). *)
 
 (** {1 Fan-in configurations}
@@ -58,7 +63,11 @@ val mrpc_fanin :
     [L_vip]), fanned into one server instance. *)
 
 val lrpc_fanin :
-  ?adaptive:bool -> ?n_channels:int -> Netproto.World.fanin -> fan
+  ?adaptive:bool ->
+  ?rto_load_floor:bool ->
+  ?n_channels:int ->
+  Netproto.World.fanin ->
+  fan
 (** SELECT-CHANNEL-FRAGMENT-VIP fan-in: a full layered client stack
     per client host, one serving stack. *)
 

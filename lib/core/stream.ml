@@ -74,7 +74,7 @@ let segment_size t c =
       | _ -> 512)
 
 let transmit t c ~typ ~seq payload =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   Proto.push c.lower_sess
     (Msg.push payload
        (encode ~typ ~seq ~ack:c.rcv_next ~window:t.window
@@ -267,7 +267,7 @@ let on_receive t f = t.deliver <- Some f
 let input t ~lower msg =
   match Proto.session_control lower Control.Get_peer_host with
   | Control.R_ip peer -> (
-      Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+      Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
       match Msg.pop msg header_bytes with
       | None -> Stats.incr t.stats "rx-runt"
       | Some (raw, rest) ->

@@ -96,7 +96,7 @@ let register t ~prog ~vers ~proc handler =
   Hashtbl.replace t.handlers (prog, vers, proc) handler
 
 let input t ~lower msg =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   match Msg.pop msg header_bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (raw, body) ->
@@ -116,7 +116,7 @@ let input t ~lower msg =
             in
             (Msg.empty, if prog_known then status_proc_unavail else status_prog_unavail)
       in
-      Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+      Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
       Proto.push lower (Msg.push reply_body (encode ~prog ~vers ~proc ~status))
 
 let serve t = t.transaction.x_serve ~upper:t.p

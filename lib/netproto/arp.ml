@@ -59,7 +59,7 @@ let broadcast_session t =
       s
 
 let send t ~via ~op ~target_ip ~target_eth =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   let pkt =
     encode ~op ~sender_ip:t.host.Host.ip ~sender_eth:t.host.Host.eth
       ~target_ip ~target_eth
@@ -113,7 +113,7 @@ let learn t ip eth =
   end
 
 let input t msg =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   match Msg.pop msg header_bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (hdr, _rest) ->

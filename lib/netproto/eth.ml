@@ -45,7 +45,7 @@ let make_session t ~upper ~peer ~typ =
     Stats.incr t.stats "tx";
     Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"ETH"
       ~dir:`Send msg;
-    Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+    Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
     let hdr = encode_header ~dst:peer ~src:t.host.Host.eth ~typ in
     Netdev.transmit t.dev (Msg.push msg hdr)
   in
@@ -86,7 +86,7 @@ let open_session t ~upper part =
 (* Shared receive path; the layer crossing itself is charged by the
    caller (device handler or Proto.deliver). *)
 let input t msg =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   match Msg.pop msg header_bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (hdr, rest) -> (
@@ -136,6 +136,6 @@ let create ~host ~dev =
   in
   Proto.set_ops p ops;
   Netdev.set_handler dev (fun frame ->
-      Machine.charge host.Host.mach [ Machine.Layer_crossing ];
+      Machine.charge_one host.Host.mach (Machine.Layer_crossing);
       input t frame);
   t

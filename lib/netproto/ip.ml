@@ -152,7 +152,7 @@ let lower_payload _t iface =
 let send_datagram t ~src ~dst ~proto_num ~ttl msg =
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"IP"
     ~dir:`Send msg;
-  Machine.charge t.host.Host.mach [ Machine.Route_lookup ];
+  Machine.charge_one t.host.Host.mach (Machine.Route_lookup);
   match route t dst with
   | None -> Stats.incr t.stats "no-route"
   | Some (iface, next_hop) -> (
@@ -331,7 +331,7 @@ let input t msg =
                 Stats.incr t.stats "forwarded";
                 (* Forward the fragment as-is (same ident/offset/MF) so
                    the final destination can still reassemble. *)
-                Machine.charge t.host.Host.mach [ Machine.Route_lookup ];
+                Machine.charge_one t.host.Host.mach (Machine.Route_lookup);
                 match route t h.dst with
                 | None -> Stats.incr t.stats "no-route"
                 | Some (iface, next_hop) -> (

@@ -82,7 +82,7 @@ let rtt t ~peer ?(size = 0) ?(timeout = 1.0) () =
   | None -> None
 
 let input t ~lower msg =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   match Msg.pop msg header_bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (hdr, rest) ->
@@ -93,7 +93,7 @@ let input t ~lower msg =
         boundary t;
         (* Echo straight back through the session the request arrived
            on — sessions are bidirectional endpoints. *)
-        Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+        Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
         Proto.push lower (Msg.push rest (encode ~kind:kind_reply ~seq))
       end
       else begin

@@ -60,7 +60,7 @@ let make_session t ~upper ~lport ~peer_ip ~rport =
     let len = header_bytes + Msg.length msg in
     let cksum =
       if t.checksum then begin
-        Machine.charge t.host.Host.mach [ Machine.Checksum (Msg.length msg) ];
+        Machine.charge_one t.host.Host.mach (Machine.Checksum (Msg.length msg));
         let dst =
           Control.ip_exn (Proto.session_control lower_sess Get_peer_host)
         in
@@ -68,7 +68,7 @@ let make_session t ~upper ~lport ~peer_ip ~rport =
       end
       else 0
     in
-    Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+    Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
     Proto.push lower_sess
       (Msg.push msg (encode ~sport:lport ~dport:rport ~len ~cksum))
   in
@@ -117,7 +117,7 @@ let open_session t ~upper part =
   | None -> make_session t ~upper ~lport ~peer_ip ~rport
 
 let input t ~lower msg =
-  Machine.charge t.host.Host.mach [ Machine.Header header_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header header_bytes);
   match Msg.pop msg header_bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (hdr, rest) -> (

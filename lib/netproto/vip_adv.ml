@@ -40,7 +40,7 @@ let send t ~op =
   Codec.W.u8 w op;
   Codec.W.u32 w (Addr.Ip.to_int t.host.Host.ip);
   Codec.W.u8 w version;
-  Machine.charge t.host.Host.mach [ Machine.Header packet_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header packet_bytes);
   Proto.push (broadcast_session t) (Msg.of_string (Codec.W.contents w))
 
 let advertise t =
@@ -52,7 +52,7 @@ let query t =
   send t ~op:op_query
 
 let input t msg =
-  Machine.charge t.host.Host.mach [ Machine.Header packet_bytes ];
+  Machine.charge_one t.host.Host.mach (Machine.Header packet_bytes);
   match Msg.pop msg packet_bytes with
   | None -> Stats.incr t.stats "rx-runt"
   | Some (raw, _) ->

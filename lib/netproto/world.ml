@@ -37,16 +37,17 @@ let create_net sim wire ~net_prefix ~count ~profile ~gateway ~eth_off =
   in
   { sim; wire; nodes }
 
-let create ?(n = 2) ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
-  let sim = Sim.create ~seed () in
+let create ?max_events ?(n = 2) ?(profile = Machine.xkernel_sun3) ?(seed = 42)
+    () =
+  let sim = Sim.create ?max_events ~seed () in
   let wire = Wire.create sim ~seed () in
   create_net sim wire ~net_prefix:0 ~count:n ~profile ~gateway:None ~eth_off:0
 
 type fanin = { fan : t; server : node; clients : node array }
 
-let create_fanin ?(clients = 4) ?profile ?seed () =
+let create_fanin ?max_events ?(clients = 4) ?profile ?seed () =
   if clients < 1 then invalid_arg "World.create_fanin: clients < 1";
-  let t = create ~n:(clients + 1) ?profile ?seed () in
+  let t = create ?max_events ~n:(clients + 1) ?profile ?seed () in
   {
     fan = t;
     server = t.nodes.(0);

@@ -24,9 +24,11 @@ type t = {
 }
 
 val create :
+  ?max_events:int ->
   ?n:int -> ?profile:Xkernel.Machine.profile -> ?seed:int -> unit -> t
 (** [create ()] is two hosts ([h0] = 10.0.0.1, [h1] = 10.0.0.2) on one
-    wire.  [n] adds more hosts on the same wire. *)
+    wire.  [n] adds more hosts on the same wire.  [max_events] raises
+    the simulator's runaway guard for million-call sweeps. *)
 
 type fanin = {
   fan : t;
@@ -35,6 +37,7 @@ type fanin = {
 }
 
 val create_fanin :
+  ?max_events:int ->
   ?clients:int -> ?profile:Xkernel.Machine.profile -> ?seed:int -> unit ->
   fanin
 (** [create_fanin ~clients ()] is the load-generation topology: one

@@ -1,7 +1,7 @@
 type t = { mutable ev : Sim.event option; mutable done_ : bool }
 
 let schedule host d f =
-  Machine.charge host.Host.mach [ Machine.Timer_op ];
+  Machine.charge_one host.Host.mach (Machine.Timer_op);
   let t = { ev = None; done_ = false } in
   t.ev <-
     Some
@@ -23,7 +23,7 @@ let cancel host t =
           if ok then t.done_ <- true;
           ok
   in
-  Machine.charge host.Host.mach [ Machine.Timer_op ];
+  Machine.charge_one host.Host.mach (Machine.Timer_op);
   ok
 
 let abort t =

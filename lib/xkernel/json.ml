@@ -64,3 +64,169 @@ let write_file path t =
     (fun () ->
       output_string oc (to_string t);
       output_char oc '\n')
+
+(* A recursive-descent parser for the same subset the serializer emits
+   (strict JSON; numbers become [Int] when they are plain integers).
+   Lets the bench embed an earlier run as its baseline without growing
+   a dependency. *)
+
+exception Parse of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos >= n then fail "unexpected end" else s.[!pos] in
+  let advance () = incr pos in
+  let expect c = if peek () <> c then fail (Printf.sprintf "expected %c" c) else advance () in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' -> (
+          advance ();
+          match peek () with
+          | '"' -> advance (); Buffer.add_char b '"'; go ()
+          | '\\' -> advance (); Buffer.add_char b '\\'; go ()
+          | '/' -> advance (); Buffer.add_char b '/'; go ()
+          | 'b' -> advance (); Buffer.add_char b '\b'; go ()
+          | 'f' -> advance (); Buffer.add_char b '\012'; go ()
+          | 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | 'r' -> advance (); Buffer.add_char b '\r'; go ()
+          | 't' -> advance (); Buffer.add_char b '\t'; go ()
+          | 'u' ->
+              advance ();
+              let code = ref 0 in
+              for _ = 1 to 4 do
+                let d =
+                  match peek () with
+                  | '0' .. '9' as c -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail "bad \\u escape"
+                in
+                code := (!code * 16) + d;
+                advance ()
+              done;
+              (* we only ever emit \u00xx control escapes *)
+              if !code < 0x100 then Buffer.add_char b (Char.chr !code)
+              else Buffer.add_char b '?';
+              go ()
+          | _ -> fail "bad escape")
+      | c when Char.code c < 0x20 -> fail "raw control char in string"
+      | c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    if not (is_num (peek ())) then fail "number expected";
+    while !pos < n && is_num s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> Str (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> number ()
+    | c -> fail (Printf.sprintf "unexpected %c" c)
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      advance ();
+      Obj []
+    end
+    else
+      let rec members acc =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+        | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected , or } in object"
+      in
+      members []
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      advance ();
+      Arr []
+    end
+    else
+      let rec elems acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            elems (v :: acc)
+        | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+        | _ -> fail "expected , or ] in array"
+      in
+      elems []
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error e -> Error e

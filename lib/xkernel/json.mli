@@ -18,3 +18,10 @@ val to_string : t -> string
 
 val write_file : string -> t -> unit
 (** [write_file path t] writes [to_string t] plus a trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset {!to_string} emits.  Plain integer
+    numbers come back as [Int], everything else numeric as [Float]. *)
+
+val parse_file : string -> (t, string) result
+(** [parse_file path] reads and {!parse}s a whole file. *)

@@ -163,16 +163,21 @@ let sim m = m.m_sim
 let profile m = m.prof
 let set_profile m p = m.prof <- p
 
-let charge m ops =
-  let total =
-    List.fold_left (fun acc op -> acc +. op_cost m.prof op) 0. ops
-  in
+let charge_cost m total =
   if total > 0. then begin
     Sim.Semaphore.p m.cpu;
     Sim.delay m.m_sim total;
     m.busy <- m.busy +. total;
     Sim.Semaphore.v m.cpu
   end
+
+let charge m ops =
+  charge_cost m
+    (List.fold_left (fun acc op -> acc +. op_cost m.prof op) 0. ops)
+
+(* Single-op form for per-event hot paths (layer crossings, timer
+   bookkeeping): no list or fold closure per call. *)
+let charge_one m op = charge_cost m (op_cost m.prof op)
 
 let cpu_seconds m = m.busy
 let reset_cpu_seconds m = m.busy <- 0.

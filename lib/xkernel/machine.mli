@@ -94,6 +94,10 @@ val charge : t -> op list -> unit
     (blocking the calling fiber; contending fibers queue FIFO) and adds
     it to the busy-time counter.  Free when the total cost is zero. *)
 
+val charge_one : t -> op -> unit
+(** [charge_one m op] = [charge m [op]] without the per-call list — for
+    per-event hot paths. *)
+
 val cpu_seconds : t -> float
 (** Total CPU time charged so far — the paper's "uses less CPU time"
     comparisons (sections 4.1, 4.2). *)

@@ -35,7 +35,25 @@ let append a b =
   | Empty, m | m, Empty -> m
   | _ -> Cat { left = a; right = b; len = length a + length b }
 
-let push m h = append (of_string h) m
+(* Header push/pop is the per-layer hot path: every protocol prepends a
+   small encoded header on send and strips it on receive.  Small
+   combined leaves are flattened instead of building a [Cat] spine, so
+   a null call's message stays a single leaf through the whole stack
+   and [pop] usually returns the pushed string without copying. *)
+let small_leaf = 32
+
+let push m h =
+  let hl = String.length h in
+  if hl = 0 then m
+  else
+    match m with
+    | Empty -> Leaf { data = h; off = 0; len = hl }
+    | Leaf l when hl + l.len <= small_leaf ->
+        let b = Bytes.create (hl + l.len) in
+        Bytes.blit_string h 0 b 0 hl;
+        Bytes.blit_string l.data l.off b hl l.len;
+        Leaf { data = Bytes.unsafe_to_string b; off = 0; len = hl + l.len }
+    | _ -> Cat { left = Leaf { data = h; off = 0; len = hl }; right = m; len = hl + length m }
 
 (* Fold over the leaf substrings of [m] in order. *)
 let rec fold_leaves f acc = function
@@ -44,10 +62,16 @@ let rec fold_leaves f acc = function
   | Cat c -> fold_leaves f (fold_leaves f acc c.left) c.right
 
 let to_string m =
-  let buf = Buffer.create (length m) in
-  let add () data off len = Buffer.add_substring buf data off len in
-  fold_leaves add () m;
-  Buffer.contents buf
+  match m with
+  | Empty -> ""
+  | Leaf l ->
+      if l.off = 0 && l.len = String.length l.data then l.data
+      else String.sub l.data l.off l.len
+  | Cat _ ->
+      let buf = Buffer.create (length m) in
+      let add () data off len = Buffer.add_substring buf data off len in
+      fold_leaves add () m;
+      Buffer.contents buf
 
 let rec take m n =
   if n <= 0 then Empty
@@ -81,11 +105,32 @@ let sub m off len =
   if off < 0 || len < 0 || off + len > length m then invalid_arg "Msg.sub";
   take (drop m off) len
 
+(* The first [n] bytes of a leaf as a string — zero-copy when the leaf
+   is exactly a previously pushed header. *)
+let leaf_prefix data off n =
+  if off = 0 && n = String.length data then data else String.sub data off n
+
 let pop m n =
   if n < 0 || length m < n then None
   else
-    let hdr, rest = split m n in
-    Some (to_string hdr, rest)
+    match m with
+    | Leaf l when l.len >= n ->
+        Some (leaf_prefix l.data l.off n, leaf l.data (l.off + n) (l.len - n))
+    | Cat { left = Leaf l; right; len } when l.len >= n ->
+        let rest =
+          if l.len = n then right
+          else
+            Cat
+              {
+                left = Leaf { data = l.data; off = l.off + n; len = l.len - n };
+                right;
+                len = len - n;
+              }
+        in
+        Some (leaf_prefix l.data l.off n, rest)
+    | _ ->
+        let hdr, rest = split m n in
+        Some (to_string hdr, rest)
 
 let equal a b = length a = length b && String.equal (to_string a) (to_string b)
 

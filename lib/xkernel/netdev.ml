@@ -35,7 +35,7 @@ let receive dev frame =
     Trace.packet
       (Machine.sim dev.nd_host.Host.mach)
       ~host:dev.nd_host.Host.name ~proto:"dev" ~dir:`Recv frame;
-    Machine.charge dev.nd_host.Host.mach [ Machine.Interrupt (Msg.length frame) ];
+    Machine.charge_one dev.nd_host.Host.mach (Machine.Interrupt (Msg.length frame));
     match dev.handler with Some h -> h frame | None -> ()
   end
 

@@ -1,60 +1,233 @@
 exception Not_in_fiber
 exception Stalled of string
 
+(* The event queue is split in two, both ordered by [(time, seq)] —
+   [seq] is a global schedule counter, so ties at one instant fire in
+   FIFO order, exactly like the [Map.Make (float * int)] queue this
+   replaces:
+
+   - [heap]/[times]: an array-backed binary min-heap for events in the
+     future.  [times] mirrors the key's time component in an unboxed
+     float array so sift comparisons never chase a boxed float.
+   - [imm]: a plain FIFO for events scheduled at the current instant
+     (resume trampolines, yields, spawns — roughly half of all
+     traffic).  [now] never decreases and [seq] only grows, so this
+     queue is (time, seq)-sorted by construction and costs O(1) where
+     the heap would pay its worst case (a new minimum sifts to the
+     root and is popped right back).
+
+   Cancellation is lazy: [cancel] marks the event and the run loop
+   discards corpses as they surface; once heap corpses pass a
+   threshold the heap is compacted in one O(n) pass, so [pending]
+   counts only live events and long sweeps that cancel many retransmit
+   timers cannot grow memory without bound. *)
+
+(* An event does not store its own time: heap entries keep it in the
+   side [times] array, and an [imm] entry's time is by construction
+   [now] from the moment it is enqueued until it fires (the loop always
+   executes the global (time, seq) minimum and time never decreases, so
+   the clock cannot pass a queued immediate).  Dropping the float field
+   keeps the record box-free. *)
 type event = {
-  time : float;
   seq : int;
   mutable cancelled : bool;
+  mutable fired : bool; (* left the queues (ran, skipped, or purged) *)
   thunk : unit -> unit;
+  owner : t;
 }
 
-module Pq = Map.Make (struct
-  type t = float * int
-
-  let compare = compare
-end)
-
-type t = {
+and t = {
   mutable now : float;
-  mutable queue : event Pq.t;
+  mutable heap : event array;
+  mutable times : float array; (* times.(i) = heap.(i)'s fire time, unboxed *)
+  mutable heap_size : int;
+  (* [imm] is a power-of-two ring buffer; head and tail grow without
+     bound and are masked on access. *)
+  mutable imm : event array;
+  mutable imm_head : int;
+  mutable imm_tail : int;
+  mutable live : int; (* queued events not yet cancelled *)
   mutable next_seq : int;
   mutable processed : int;
   max_events : int;
   sim_rng : Random.State.t;
+  dummy : event; (* fills empty queue slots, so popped thunks get freed *)
 }
 
 let create ?(max_events = 10_000_000) ?(seed = 42) () =
-  {
-    now = 0.;
-    queue = Pq.empty;
-    next_seq = 0;
-    processed = 0;
-    max_events;
-    sim_rng = Random.State.make [| seed |];
-  }
+  let rec dummy =
+    { seq = -1; cancelled = true; fired = true; thunk = ignore; owner = t }
+  and t =
+    {
+      now = 0.;
+      heap = [||];
+      times = [||];
+      heap_size = 0;
+      imm = [||];
+      imm_head = 0;
+      imm_tail = 0;
+      live = 0;
+      next_seq = 0;
+      processed = 0;
+      max_events;
+      sim_rng = Random.State.make [| seed |];
+      dummy;
+    }
+  in
+  t
 
 let now t = t.now
-let pending t = Pq.cardinal t.queue
+let pending t = t.live
+let processed t = t.processed
 let rng t = t.sim_rng
+
+(* --- heap primitives --- *)
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    let ti = t.times.(i) and tp = t.times.(p) in
+    if ti < tp || (ti = tp && t.heap.(i).seq < t.heap.(p).seq) then begin
+      let ev = t.heap.(i) in
+      t.heap.(i) <- t.heap.(p);
+      t.heap.(p) <- ev;
+      t.times.(i) <- tp;
+      t.times.(p) <- ti;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t n i =
+  let l = (2 * i) + 1 in
+  if l < n then begin
+    let s =
+      if
+        l + 1 < n
+        && (t.times.(l + 1) < t.times.(l)
+           || (t.times.(l + 1) = t.times.(l)
+              && t.heap.(l + 1).seq < t.heap.(l).seq))
+      then l + 1
+      else l
+    in
+    let ts = t.times.(s) and ti = t.times.(i) in
+    if ts < ti || (ts = ti && t.heap.(s).seq < t.heap.(i).seq) then begin
+      let ev = t.heap.(i) in
+      t.heap.(i) <- t.heap.(s);
+      t.heap.(s) <- ev;
+      t.times.(i) <- ts;
+      t.times.(s) <- ti;
+      sift_down t n s
+    end
+  end
+
+let heap_push t time ev =
+  let cap = Array.length t.heap in
+  if t.heap_size = cap then begin
+    let cap' = max 256 (2 * cap) in
+    let grown = Array.make cap' t.dummy in
+    let grown_times = Array.make cap' infinity in
+    Array.blit t.heap 0 grown 0 t.heap_size;
+    Array.blit t.times 0 grown_times 0 t.heap_size;
+    t.heap <- grown;
+    t.times <- grown_times
+  end;
+  t.heap.(t.heap_size) <- ev;
+  t.times.(t.heap_size) <- time;
+  t.heap_size <- t.heap_size + 1;
+  sift_up t (t.heap_size - 1)
+
+(* Pop the root.  The caller decides whether it was live. *)
+let heap_pop t =
+  let ev = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  t.heap.(0) <- t.heap.(t.heap_size);
+  t.times.(0) <- t.times.(t.heap_size);
+  t.heap.(t.heap_size) <- t.dummy;
+  t.times.(t.heap_size) <- infinity;
+  if t.heap_size > 0 then sift_down t t.heap_size 0;
+  ev
+
+(* Compact away cancelled events and re-heapify (Floyd's O(n) pass).
+   Heap order depends only on the (time, seq) key, so rebuilding cannot
+   perturb the firing schedule. *)
+let purge t =
+  let h = t.heap in
+  let kept = ref 0 in
+  for i = 0 to t.heap_size - 1 do
+    let ev = h.(i) in
+    if ev.cancelled then ev.fired <- true
+    else begin
+      h.(!kept) <- ev;
+      t.times.(!kept) <- t.times.(i);
+      incr kept
+    end
+  done;
+  for i = !kept to t.heap_size - 1 do
+    h.(i) <- t.dummy;
+    t.times.(i) <- infinity
+  done;
+  t.heap_size <- !kept;
+  for i = (!kept / 2) - 1 downto 0 do
+    sift_down t !kept i
+  done
+
+(* Compacting is O(n), so only bother once the corpses both dominate
+   the heap and number enough to matter.  Corpses in [imm] are at the
+   current instant and drain on their own within a few pops. *)
+let purge_floor = 64
+
+let maybe_purge t =
+  let dead = t.heap_size + (t.imm_tail - t.imm_head) - t.live in
+  if dead > purge_floor && 2 * dead > t.heap_size then purge t
+
+let imm_add t ev =
+  let cap = Array.length t.imm in
+  let len = t.imm_tail - t.imm_head in
+  if len = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) t.dummy in
+    for i = 0 to len - 1 do
+      grown.(i) <- t.imm.((t.imm_head + i) land (cap - 1))
+    done;
+    t.imm <- grown;
+    t.imm_head <- 0;
+    t.imm_tail <- len
+  end;
+  t.imm.(t.imm_tail land (Array.length t.imm - 1)) <- ev;
+  t.imm_tail <- t.imm_tail + 1
 
 let schedule_at t time thunk =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let ev = { time; seq; cancelled = false; thunk } in
-  t.queue <- Pq.add (time, seq) ev t.queue;
+  let ev = { seq; cancelled = false; fired = false; thunk; owner = t } in
+  (* Scheduling in the past never happens (all entry points add a
+     non-negative delay to [now]), so [time = now] is the instant case. *)
+  if time = t.now then imm_add t ev else heap_push t time ev;
+  t.live <- t.live + 1;
   ev
 
 let cancel ev =
-  if ev.cancelled then false
+  if ev.cancelled || ev.fired then false
   else begin
     ev.cancelled <- true;
+    let t = ev.owner in
+    t.live <- t.live - 1;
+    maybe_purge t;
     true
   end
 
 (* A fiber suspends by handing its resumption to [register]; whoever
    holds the resumption calls it exactly once to schedule the fiber's
-   continuation as an immediate event. *)
+   continuation as an immediate event.  The trampoline keeps resumption
+   FIFO-ordered with everything else scheduled at the same instant (the
+   continuation's position is fixed when [resume] runs, not when the
+   fiber suspended), which is what makes runs deterministic.
+
+   [Delay] is the pre-fused form of the dominant suspension — a timed
+   wait.  The handler builds the same two-event trampoline [suspend]
+   would (wake event, then resume at the wake instant), just without
+   the [register]/[resume] closure pair per call. *)
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+type _ Effect.t += Delay : float -> unit Effect.t
 
 let run_fiber t f =
   let open Effect.Deep in
@@ -68,6 +241,12 @@ let run_fiber t f =
                 (fun (k : (a, unit) continuation) ->
                   register (fun () ->
                       ignore (schedule_at t t.now (fun () -> continue k ()))))
+          | Delay time ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore
+                    (schedule_at t time (fun () ->
+                         ignore (schedule_at t t.now (fun () -> continue k ())))))
           | _ -> None);
     }
   in
@@ -88,39 +267,79 @@ let spawn t ?name f =
   in
   ignore (schedule_at t t.now run)
 
+let perform_delay time =
+  try Effect.perform (Delay time)
+  with Effect.Unhandled (Delay _) -> raise Not_in_fiber
+
 let delay t d =
   if d < 0. then invalid_arg "Sim.delay: negative delay";
-  if d = 0. then ()
-  else
-    suspend (fun resume ->
-        ignore (schedule_at t (t.now +. d) (fun () -> resume ())))
+  if d = 0. then () else perform_delay (t.now +. d)
 
-let yield t = suspend (fun resume -> ignore (schedule_at t t.now resume))
+let yield t = perform_delay t.now
 
 let after t d f =
   if d < 0. then invalid_arg "Sim.after: negative delay";
   schedule_at t (t.now +. d) (fun () -> run_fiber t f)
 
 let run ?until t =
+  let execute ev =
+    ev.fired <- true;
+    t.live <- t.live - 1;
+    t.processed <- t.processed + 1;
+    if t.processed > t.max_events then
+      raise
+        (Stalled (Printf.sprintf "more than %d events processed" t.max_events));
+    ev.thunk ()
+  in
+  let stop_at time = match until with Some u -> time > u | None -> false in
+  let imm_pop t =
+    let ev = t.imm.(t.imm_head land (Array.length t.imm - 1)) in
+    t.imm.(t.imm_head land (Array.length t.imm - 1)) <- t.dummy;
+    t.imm_head <- t.imm_head + 1;
+    ev
+  in
   let rec loop () =
-    match Pq.min_binding_opt t.queue with
-    | None -> ()
-    | Some ((time, seq), ev) -> (
-        match until with
-        | Some u when time > u -> t.now <- u
-        | _ ->
-            t.queue <- Pq.remove (time, seq) t.queue;
-            if not ev.cancelled then begin
-              t.processed <- t.processed + 1;
-              if t.processed > t.max_events then
-                raise
-                  (Stalled
-                     (Printf.sprintf "more than %d events processed"
-                        t.max_events));
-              t.now <- time;
-              ev.thunk ()
-            end;
-            loop ())
+    (* Corpses are dropped without consulting [until] — they were
+       already discounted from [live] when cancelled. *)
+    if t.heap_size > 0 && t.heap.(0).cancelled then begin
+      (heap_pop t).fired <- true;
+      loop ()
+    end
+    else if t.imm_head < t.imm_tail then begin
+      let qe = t.imm.(t.imm_head land (Array.length t.imm - 1)) in
+      if qe.cancelled then begin
+        (imm_pop t).fired <- true;
+        loop ()
+      end
+      else if
+        (* Both queues are live at their heads; fire the lesser
+           (time, seq).  A queued immediate's time is [now] by the
+           invariant above, so the heap can win only on an equal time
+           with a smaller seq (the clock never passes a queued
+           immediate). *)
+        t.heap_size > 0
+        && t.times.(0) = t.now
+        && t.heap.(0).seq < qe.seq
+      then
+        if stop_at t.times.(0) then t.now <- Option.get until
+        else begin
+          t.now <- t.times.(0);
+          execute (heap_pop t);
+          loop ()
+        end
+      else if stop_at t.now then t.now <- Option.get until
+      else begin
+        execute (imm_pop t);
+        loop ()
+      end
+    end
+    else if t.heap_size > 0 then
+      if stop_at t.times.(0) then t.now <- Option.get until
+      else begin
+        t.now <- t.times.(0);
+        execute (heap_pop t);
+        loop ()
+      end
   in
   loop ()
 

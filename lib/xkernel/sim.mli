@@ -65,7 +65,11 @@ val run : ?until:float -> t -> unit
     that escaped a fiber. *)
 
 val pending : t -> int
-(** Number of events still queued (cancelled events may be counted). *)
+(** Number of live (non-cancelled) events still queued. *)
+
+val processed : t -> int
+(** Total events executed so far — the denominator of the harness
+    benchmark's events/sec figure. *)
 
 (** Counting semaphores — the x-kernel's process-synchronisation
     primitive.  The paper attributes CHANNEL's cost to exactly this

@@ -19,6 +19,30 @@ val create : ?name:string -> unit -> t
     ["h0.0/CHANNEL"]. *)
 
 val name : t -> string option
+
+(** {2 Interned counter handles}
+
+    Hot paths resolve a counter once and pay one increment per event
+    instead of a string hash per event.  A handle stays out of dumps
+    and JSON until first touched, so pre-resolving at protocol-open
+    time does not change what the table exports. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-create the entry for [name]; the handle stays valid across
+    {!reset} (which zeroes counters in place). *)
+
+val tick : counter -> unit
+(** Increment by one. *)
+
+val bump : counter -> int -> unit
+(** Increment by [n]. *)
+
+val value : counter -> int
+
+(** {2 String-keyed API} *)
+
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 

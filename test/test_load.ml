@@ -153,6 +153,49 @@ let open_uniform_deterministic_arrivals () =
   Tutil.check_int "nothing shed" 0 r.Load.shed;
   Alcotest.(check string) "mode label" "open-uniform" r.Load.r_mode
 
+(* --- lrpc-arto: no premature-retransmission storm under rising load ------ *)
+
+(* The PR-3 defect: with the adaptive RTO, srtt learned from idle
+   warm-up calls fires prematurely once open-loop queueing delay grows
+   past srtt + 4*rttvar, and Karn's rule then starves the estimator —
+   a retransmission storm at rates the fixed timeout rides through.
+   The load-sensitive floor (Channel [rto_load_floor]) must keep
+   spurious retransmissions to a trickle; with the floor disabled the
+   same run still storms, which is what makes this a regression test
+   of the floor rather than of the workload. *)
+let arto_storm ~rto_load_floor =
+  Stats.reset_registry ();
+  let f = World.create_fanin ~clients:4 () in
+  let fan = Stacks.lrpc_fanin ~adaptive:true ~rto_load_floor f in
+  let r = Load.run_open ~rate:1200. ~arrivals:200 f fan in
+  let retransmits =
+    List.fold_left
+      (fun acc i ->
+        match Stats.find (Printf.sprintf "h0.%d/CHANNEL" i) with
+        | Some st -> acc + Stats.get st "retransmit"
+        | None -> acc)
+      0 [ 1; 2; 3; 4 ]
+  in
+  (r, retransmits)
+
+let arto_no_storm () =
+  let r, retransmits = arto_storm ~rto_load_floor:true in
+  Tutil.check_int "nothing shed" 0 r.Load.shed;
+  Tutil.check_int "no failed calls" 0 r.Load.failed;
+  Alcotest.(check bool)
+    (Printf.sprintf "retransmissions a trickle (%d of %d)" retransmits
+       r.Load.completed)
+    true
+    (retransmits * 10 <= r.Load.completed)
+
+let arto_storm_without_floor () =
+  let r, retransmits = arto_storm ~rto_load_floor:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "floor off still storms (%d retransmits, %d shed)"
+       retransmits r.Load.shed)
+    true
+    (retransmits * 10 > r.Load.completed || r.Load.shed > 0)
+
 (* --- determinism: identical JSON across two fresh runs ------------------- *)
 
 let sweep_deterministic () =
@@ -189,6 +232,12 @@ let () =
           Alcotest.test_case "past knee: sheds" `Quick open_past_knee;
           Alcotest.test_case "uniform arrivals" `Quick
             open_uniform_deterministic_arrivals;
+        ] );
+      ( "arto",
+        [
+          Alcotest.test_case "no storm with load floor" `Quick arto_no_storm;
+          Alcotest.test_case "floor off still storms" `Quick
+            arto_storm_without_floor;
         ] );
       ( "determinism",
         [ Alcotest.test_case "identical JSON twice" `Quick sweep_deterministic ] );

@@ -167,6 +167,57 @@ let registry_dump_and_find () =
   | d -> Alcotest.failf "expected one registered table, got %d" (List.length d));
   check_valid "registry json" (Stats.to_json ())
 
+(* Pre-resolved counter handles (Stats.counter/tick/bump/value) must be
+   observationally identical to the string API — same values read back
+   either way, and byte-identical registry JSON from an equivalent
+   program. *)
+let counter_handles () =
+  Stats.reset_registry ();
+  let a = Stats.create ~name:"test/A" () in
+  let ca = Stats.counter a "hits" in
+  Stats.tick ca;
+  Stats.incr a "hits";
+  Stats.bump ca 3;
+  Tutil.check_int "string API sees handle increments" 5 (Stats.get a "hits");
+  Tutil.check_int "handle sees string increments" 5 (Stats.value ca);
+  (* A handle resolved but never ticked stays out of the dump, exactly
+     like a name never touched through the string API. *)
+  let _idle = Stats.counter a "idle" in
+  (match Stats.dump () with
+  | [ ("test/A", [ ("hits", 5) ]) ] -> ()
+  | d -> Alcotest.failf "unexpected dump shape (%d tables)" (List.length d));
+  (* reset zeroes in place, so handles resolved before it stay valid *)
+  Stats.reset a;
+  Tutil.check_int "reset zeroes through handle" 0 (Stats.value ca);
+  Stats.tick ca;
+  Tutil.check_int "handle live after reset" 1 (Stats.value ca)
+
+let counter_handle_dump_identical () =
+  let dump_of f =
+    Stats.reset_registry ();
+    let t = Stats.create ~name:"test/H" () in
+    f t;
+    Stats.to_json ()
+  in
+  let via_strings =
+    dump_of (fun t ->
+        Stats.incr t "x";
+        Stats.add t "y" 5;
+        Stats.incr t "x";
+        (* add 0 still materializes the counter in the dump *)
+        Stats.add t "zero" 0)
+  in
+  let via_handles =
+    dump_of (fun t ->
+        let x = Stats.counter t "x" and y = Stats.counter t "y" in
+        let z = Stats.counter t "zero" in
+        Stats.tick x;
+        Stats.bump y 5;
+        Stats.tick x;
+        Stats.bump z 0)
+  in
+  Tutil.check_str "registry JSON byte-identical" via_strings via_handles
+
 (* Per-call counter deltas of one null RPC over the layered stack
    (SELECT-CHANNEL-FRAGMENT-VIP-ETH), after a warm-up call has opened
    every session and resolved ARP.  This pins the packet/crossing
@@ -254,6 +305,13 @@ let () =
           Alcotest.test_case "serializer" `Quick json_serializer;
           Alcotest.test_case "registry dump and find" `Quick
             registry_dump_and_find;
+        ] );
+      ( "counter handles",
+        [
+          Alcotest.test_case "handle and string API agree" `Quick
+            counter_handles;
+          Alcotest.test_case "dump byte-identical via handles" `Quick
+            counter_handle_dump_identical;
         ] );
       ( "layer accounting",
         [

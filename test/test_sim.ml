@@ -170,6 +170,114 @@ let event_module_cancel () =
   Sim.run sim;
   Alcotest.(check bool) "never fired" false !fired
 
+(* --- heap + immediate-queue event structure vs a (time, seq) model ----- *)
+
+(* The event queue (binary min-heap plus same-instant FIFO ring) must
+   fire events in exactly the order of a stable sort by time — FIFO
+   among equals, i.e. keyed (time, seq) with seq assigned at schedule
+   time. *)
+let qcheck_heap_order =
+  Tutil.qtest ~count:300 "firing order is a stable sort by time"
+    QCheck.(list_of_size (Gen.int_range 0 80) (int_bound 9))
+    (fun times ->
+      let sim = Sim.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i t ->
+          ignore
+            (Sim.after sim (float_of_int t /. 10.) (fun () -> log := i :: !log)))
+        times;
+      Sim.run sim;
+      let model =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map snd
+      in
+      List.rev !log = model)
+
+(* Events scheduled from inside callbacks — including at the current
+   instant, the immediate-queue fast path — against a list-based
+   reference scheduler that takes the (time, seq) minimum each step. *)
+let qcheck_nested_order =
+  Tutil.qtest ~count:300 "nested scheduling matches reference scheduler"
+    QCheck.(
+      list_of_size (Gen.int_range 1 25)
+        (pair (int_bound 5) (list_of_size (Gen.int_range 0 3) (int_bound 3))))
+    (fun plan ->
+      let sim = Sim.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i (t, offs) ->
+          ignore
+            (Sim.after sim (float_of_int t /. 10.) (fun () ->
+                 log := i :: !log;
+                 List.iteri
+                   (fun j off ->
+                     ignore
+                       (Sim.after sim (float_of_int off /. 10.) (fun () ->
+                            log := ((i + 1) * 1000) + j :: !log)))
+                   offs)))
+        plan;
+      Sim.run sim;
+      let seq = ref 0 in
+      let pending = ref [] in
+      let add time id kids =
+        Stdlib.incr seq;
+        pending := (time, !seq, id, kids) :: !pending
+      in
+      List.iteri (fun i (t, offs) -> add (float_of_int t /. 10.) i offs) plan;
+      let order = ref [] in
+      while !pending <> [] do
+        let ((time, _, id, kids) as best) =
+          List.fold_left
+            (fun ((bt, bs, _, _) as b) ((t, s, _, _) as e) ->
+              if t < bt || (t = bt && s < bs) then e else b)
+            (List.hd !pending) (List.tl !pending)
+        in
+        pending := List.filter (fun e -> e != best) !pending;
+        order := id :: !order;
+        List.iteri
+          (fun j off ->
+            add (time +. (float_of_int off /. 10.)) (((id + 1) * 1000) + j) [])
+          kids
+      done;
+      !log = !order)
+
+(* Mass cancellation: [pending] counts only live events, the lazy-
+   deletion purge must not disturb firing order, and [processed] counts
+   executed events. *)
+let cancel_purge_pending () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let evs =
+    List.init 300 (fun i ->
+        (i, Sim.after sim (1.0 +. float_of_int i) (fun () -> fired := i :: !fired)))
+  in
+  Tutil.check_int "all live before cancels" 300 (Sim.pending sim);
+  let live =
+    List.filter_map
+      (fun (i, ev) ->
+        if i mod 4 = 0 then Some i
+        else begin
+          Alcotest.(check bool) "cancel ok" true (Sim.cancel ev);
+          None
+        end)
+      evs
+  in
+  Tutil.check_int "pending counts only live events" (List.length live)
+    (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check (list int)) "live events fire in order" live (List.rev !fired);
+  Tutil.check_int "processed counts executions" (List.length live)
+    (Sim.processed sim)
+
+let cancel_after_fire () =
+  let sim = Sim.create () in
+  let ev = Sim.after sim 0.5 ignore in
+  Sim.run sim;
+  Alcotest.(check bool) "cancel after fire fails" false (Sim.cancel ev);
+  Tutil.check_int "nothing pending" 0 (Sim.pending sim)
+
 let yield_interleaves () =
   let sim = Sim.create () in
   let log = ref [] in
@@ -195,6 +303,14 @@ let () =
           Alcotest.test_case "blocking outside fiber" `Quick not_in_fiber;
           Alcotest.test_case "runaway guard" `Quick stall_guard;
           Alcotest.test_case "yield" `Quick yield_interleaves;
+        ] );
+      ( "event queue",
+        [
+          qcheck_heap_order;
+          qcheck_nested_order;
+          Alcotest.test_case "cancel purge and pending" `Quick
+            cancel_purge_pending;
+          Alcotest.test_case "cancel after fire" `Quick cancel_after_fire;
         ] );
       ( "semaphore",
         [
