@@ -291,6 +291,7 @@ let () =
       ("cpu_note", E.cpu_note ());
       ("loss_sweep", E.loss_sweep ());
       ("capacity", E.capacity ());
+      ("failover", E.failover ());
       ( "harness",
         harness
           ~calls:opts.o_harness_calls

@@ -20,6 +20,7 @@ type cap_opts = {
   cap_clients : int option;
   cap_window : int option;
   cap_conc : int list option;
+  cap_servers : int option;
 }
 
 let experiments cap =
@@ -43,6 +44,14 @@ let experiments cap =
         E.capacity ?stacks:cap.cap_stacks ?rates:cap.cap_rates
           ?arrivals:cap.cap_arrivals ?clients:cap.cap_clients
           ?window:cap.cap_window ?conc:cap.cap_conc () );
+    ( "failover",
+      fun () ->
+        E.failover ?servers:cap.cap_servers ?clients:cap.cap_clients
+          ?rate:
+            (match cap.cap_rates with
+            | Some (r :: _) -> Some r
+            | _ -> None)
+          ?arrivals:cap.cap_arrivals ?window:cap.cap_window () );
   ]
 
 let write_json path doc =
@@ -263,7 +272,14 @@ let cap_opts_term =
       & info [ "conc" ] ~docv:"C1,C2"
           ~doc:"Capacity sweep: closed-loop concurrency steps (total fibers)")
   in
-  let assemble stacks rates arrivals clients window conc =
+  let servers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "servers" ] ~docv:"K"
+          ~doc:"Failover experiment: server replicas behind the REPLICA map")
+  in
+  let assemble stacks rates arrivals clients window conc servers =
     {
       cap_stacks = Option.map (fun s -> String.split_on_char ',' s) stacks;
       cap_rates =
@@ -272,10 +288,12 @@ let cap_opts_term =
       cap_clients = clients;
       cap_window = window;
       cap_conc = Option.bind conc (split_list int_of_string "concurrency");
+      cap_servers = servers;
     }
   in
   Term.(
-    const assemble $ stacks $ rates $ arrivals $ clients $ window $ conc)
+    const assemble $ stacks $ rates $ arrivals $ clients $ window $ conc
+    $ servers)
 
 let exp_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in

@@ -120,10 +120,13 @@ let request_rto t s len =
     Float.min t.rto_max (Float.max (s.srtt +. (4. *. s.rttvar)) floor)
 
 (* Karn's backoff persistence: [s.backoff] carries over into the next
-   transaction and is only cleared by a valid sample.  Under sustained
-   RTT inflation Karn's rule starves the estimator (every transaction
-   retransmits, so none yields a sample); keeping the backed-off RTO
-   until a transaction completes cleanly is what lets it converge. *)
+   transaction; a valid sample clears it, and every retransmitted-but-
+   completed transaction decays it one step (see [handle_reply]).
+   Under sustained RTT inflation Karn's rule starves the estimator
+   (every transaction retransmits, so none yields a sample); keeping
+   the backed-off RTO while transactions are still failing is what
+   lets it converge, while the per-completion decay stops it from
+   staying pinned after loss clears. *)
 let backed_rto t s len =
   let rto = request_rto t s len in
   if s.backoff = 0 then rto
@@ -358,7 +361,17 @@ let handle_reply t s (hdr : C.t) body =
              the reply cannot be matched to a particular transmission. *)
           observe_rtt t s ~load:o.sent_load
             (Sim.now (Host.sim t.host) -. o.sent_at)
-        else Stats.tick t.c_karn_skip;
+        else begin
+          Stats.tick t.c_karn_skip;
+          (* No sample, but the completion still witnesses a serving
+             peer: decay the persistent backoff one step per completed
+             transaction.  Under sustained saturation every transaction
+             retransmits, so clean samples — which clear the backoff
+             outright in [observe_rtt] — may never arrive; without this
+             decay the RTO stays pinned at the backed-off ceiling long
+             after the loss that earned it has cleared. *)
+          if s.backoff > 0 then s.backoff <- s.backoff - 1
+        end;
       let reboot_detected =
         match s.server_boot with
         | Some b when b <> hdr.C.boot_id -> true
@@ -438,6 +451,7 @@ let make_session t ~upper ~peer ~proto_num ~chan =
        has an RTT estimate. *)
     | Control.Get_timeout | Control.Get_rto ->
         Control.R_float (request_rto t s s.last_len)
+    | Control.Get_rto_backed -> Control.R_float (backed_rto t s s.last_len)
     | Control.Get_srtt -> Control.R_float (Float.max s.srtt 0.)
     | ( Control.Get_frag_size | Control.Get_max_packet
       | Control.Get_opt_packet ) as req ->

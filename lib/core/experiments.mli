@@ -71,3 +71,25 @@ val capacity :
     achieved throughput, the p50/p90/p99/p99.9 latency summary
     (microseconds, under ["latency_us"]), shed counts, peak server
     queue depth and wire utilization. *)
+
+val failover :
+  ?servers:int ->
+  ?clients:int ->
+  ?rate:float ->
+  ?arrivals:int ->
+  ?window:int ->
+  unit ->
+  Xkernel.Json.t
+(** Crash-availability over replicated servers: [clients] client hosts
+    round-robin over [servers] L.RPC replicas through the REPLICA
+    failover layer (open loop, uniform arrivals at [rate] calls/s,
+    [arrivals] arrivals, pending window [window]).  A third of the way
+    through, replica 0 crashes and stays partitioned for a quarter of
+    the sweep, then heals; suspect marking, bounded failover and
+    recovery probes keep the goodput dip to at most one replica's
+    share.  Prints per-phase goodput (pre-crash / outage / healed) and
+    the tail-latency summary; returns one row with [table =
+    "failover"] carrying the phase goodputs, [failovers], probe
+    counts, shed counts (total and after heal) and the latency
+    histogram.  Deterministic for a fixed parameter set (default world
+    seed; uniform arrivals).  Resets the {!Xkernel.Stats} registry. *)

@@ -316,6 +316,9 @@ let find_or_create t ~peer ~proto_num =
 let recent_count t =
   Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.recent) t.sessions 0
 
+let reasm_count t =
+  Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.reasm) t.sessions 0
+
 let input t msg =
   Machine.charge t.host.Host.mach
     [ Machine.Header F.bytes; Machine.Frag_bookkeep ];
@@ -418,4 +421,22 @@ let create ~host ~lower ?(proto_num = 92) ?(frag_size = 1024)
           | req -> Stats.control t.stats req);
     };
   Proto.declare_below p [ lower ];
+  Host.at_reboot host (fun () ->
+      (* Crash semantics: partial reassemblies, the sent-message cache
+         and the duplicate-suppression tables all die with the kernel —
+         otherwise a gap timer surviving the reboot would NACK for a
+         pre-crash message and deliver it into the new incarnation.
+         Surviving cache/gap timers find their entries gone and no-op.
+         [next_seq] is deliberately NOT reset: the peer's [recent]
+         table outlives our crash, and reusing pre-crash sequence
+         numbers within its TTL would make it wrongly dedup fresh
+         post-reboot messages. *)
+      Hashtbl.iter
+        (fun _ s ->
+          Hashtbl.reset s.cache;
+          Hashtbl.reset s.reasm;
+          Hashtbl.reset s.recent;
+          Queue.clear s.recent_q)
+        t.sessions;
+      Stats.incr t.stats "crash-reset");
   t

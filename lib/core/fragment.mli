@@ -52,6 +52,11 @@ val recent_count : t -> int
 (** Total entries in the recently-completed dedup tables across all
     sessions — bounded by the prune timer; exposed for tests. *)
 
+val reasm_count : t -> int
+(** Total in-progress partial reassemblies across all sessions —
+    cleared by a {!Xkernel.Host.reboot} of the owning host; exposed for
+    tests. *)
+
 (** Participants: like VIP — [Ip peer] + [Ip_proto n].  Sessions answer
     [Get_peer_host], [Get_frag_size], [Get_max_packet]
     (= [max_message]), [Get_opt_packet] (= fragment size).  The protocol

@@ -59,6 +59,10 @@ val new_hist : unit -> Xkernel.Histogram.t
 (** A histogram configured like the ones in {!result} (microseconds,
     up to 100 s) — mergeable with them. *)
 
+val us_of : float -> int
+(** Seconds to rounded microseconds — the unit {!result} histograms
+    record. *)
+
 val run_closed :
   ?fibers:int ->
   ?calls:int ->

@@ -1,0 +1,314 @@
+open Xkernel
+
+type policy = Round_robin | Hash
+
+type health = Healthy | Suspect | Dead
+
+type endpoint = {
+  ep_addr : Addr.Ip.t;
+  ep_call : command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+}
+
+type replica = {
+  r_idx : int;
+  r_addr : Addr.Ip.t;
+  r_call : command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+  mutable r_health : health;
+  mutable r_probe_fails : int; (* consecutive failed recovery probes *)
+  mutable r_probe_armed : bool;
+}
+
+type t = {
+  host : Host.t;
+  p : Proto.t;
+  replicas : replica array;
+  policy : policy;
+  attempt_timeout : float;
+  deadline : float;
+  max_failovers : int;
+  probation : float;
+  probe_limit : int;
+  probe_command : int;
+  rng : Random.State.t;
+  stats : Stats.t;
+  mutable rr : int; (* round-robin cursor *)
+  (* Per-call counters, resolved once at create time (hot path). *)
+  c_call : Stats.counter;
+  c_ok : Stats.counter;
+  c_failed : Stats.counter;
+  c_failover : Stats.counter;
+  c_failover_ok : Stats.counter;
+  c_attempt_timeout : Stats.counter;
+  c_deadline_expired : Stats.counter;
+  c_probe_sent : Stats.counter;
+  c_probe_ok : Stats.counter;
+  c_late_ok : Stats.counter;
+}
+
+let proto t = t.p
+let replica_count t = Array.length t.replicas
+let health t i = t.replicas.(i).r_health
+
+let failovers t = Stats.value t.c_failover
+let probes_sent t = Stats.value t.c_probe_sent
+let probes_ok t = Stats.value t.c_probe_ok
+
+(* Gauges: how many replicas this client currently distrusts. *)
+let set_gauges t =
+  let suspect = ref 0 and dead = ref 0 in
+  Array.iter
+    (fun r ->
+      match r.r_health with
+      | Suspect -> incr suspect
+      | Dead -> incr dead
+      | Healthy -> ())
+    t.replicas;
+  Stats.set t.stats "replica-suspect" !suspect;
+  Stats.set t.stats "replica-dead" !dead
+
+let mark_healthy t r =
+  if r.r_health <> Healthy then begin
+    r.r_health <- Healthy;
+    Stats.incr t.stats (Printf.sprintf "replica%d-recovered" r.r_idx);
+    set_gauges t
+  end;
+  r.r_probe_fails <- 0
+
+(* Seeded jitter keeps a fleet of clients that suspected a replica
+   together from probing it in lockstep forever. *)
+let probe_delay t fails =
+  t.probation
+  *. (2. ** float_of_int fails)
+  *. (1. +. (0.2 *. Random.State.float t.rng 1.))
+
+(* Recovery probes: after probation, one null call decides.  Probing is
+   capped — [probe_limit] consecutive failures mark the replica [Dead]
+   and stop re-arming, so the event queue still drains when a replica
+   never comes back.  A dead replica is only resurrected by a
+   last-resort call attempt that happens to succeed (see {!order}). *)
+let rec arm_probe t r ~delay =
+  if not r.r_probe_armed then begin
+    r.r_probe_armed <- true;
+    ignore
+      (Event.schedule t.host delay (fun () ->
+           r.r_probe_armed <- false;
+           if r.r_health = Suspect then begin
+             Stats.tick t.c_probe_sent;
+             match r.r_call ~command:t.probe_command Msg.empty with
+             | Ok _ ->
+                 Stats.tick t.c_probe_ok;
+                 mark_healthy t r
+             | Error _ ->
+                 r.r_probe_fails <- r.r_probe_fails + 1;
+                 if r.r_probe_fails >= t.probe_limit then begin
+                   r.r_health <- Dead;
+                   Stats.incr t.stats
+                     (Printf.sprintf "replica%d-dead" r.r_idx);
+                   set_gauges t
+                 end
+                 else arm_probe t r ~delay:(probe_delay t r.r_probe_fails)
+           end))
+  end
+
+let mark_suspect t r =
+  match r.r_health with
+  | Healthy ->
+      r.r_health <- Suspect;
+      Stats.incr t.stats (Printf.sprintf "replica%d-suspect" r.r_idx);
+      set_gauges t;
+      arm_probe t r ~delay:(probe_delay t 0)
+  | Suspect | Dead -> ()
+
+(* One bounded attempt against one replica.  The call itself runs in
+   its own fiber so the attempt can be abandoned after [budget] without
+   waiting out the channel's full RTO ladder; an abandoned call still
+   completes in the background, and a late success teaches the health
+   tracker that the replica is alive after all. *)
+let attempt t r ~budget ~command msg =
+  let sim = Host.sim t.host in
+  let iv = Sim.Ivar.create sim in
+  let abandoned = ref false in
+  Sim.spawn sim (fun () ->
+      let res = r.r_call ~command msg in
+      if !abandoned then begin
+        match res with
+        | Ok _ ->
+            Stats.tick t.c_late_ok;
+            mark_healthy t r
+        | Error _ -> ()
+      end
+      else Sim.Ivar.fill iv res);
+  match Sim.Ivar.read_timeout iv budget with
+  | Some res -> res
+  | None ->
+      abandoned := true;
+      Stats.tick t.c_attempt_timeout;
+      Error Rpc_error.Timeout
+
+(* Candidate order: start from the policy's preferred replica and walk
+   successors (the consistent-hash ring walk, degenerate for
+   round-robin), then stable-sort by health so healthy replicas are
+   tried first and dead ones only as a last resort. *)
+let order t ~key =
+  let k = Array.length t.replicas in
+  let start =
+    match (t.policy, key) with
+    | Hash, Some key -> ((key mod k) + k) mod k
+    | Hash, None | Round_robin, _ ->
+        let c = t.rr in
+        t.rr <- (t.rr + 1) mod k;
+        c
+  in
+  let rank i =
+    match t.replicas.(i).r_health with
+    | Healthy -> 0
+    | Suspect -> 1
+    | Dead -> 2
+  in
+  List.init k (fun i -> (start + i) mod k)
+  |> List.stable_sort (fun a b -> compare (rank a) (rank b))
+
+let call t ?key ~command msg =
+  let sim = Host.sim t.host in
+  Stats.tick t.c_call;
+  Machine.charge_one t.host.Host.mach Machine.Virtual_op;
+  Trace.packet sim ~host:t.host.Host.name ~proto:"REPLICA" ~dir:`Send msg;
+  let deadline_at = Sim.now sim +. t.deadline in
+  let max_attempts = min (t.max_failovers + 1) (Array.length t.replicas) in
+  let rec go tried = function
+    | [] -> Error Rpc_error.Timeout
+    | _ when tried >= max_attempts -> Error Rpc_error.Timeout
+    | i :: rest -> (
+        let r = t.replicas.(i) in
+        let remaining = deadline_at -. Sim.now sim in
+        if remaining <= 0. then begin
+          Stats.tick t.c_deadline_expired;
+          Error Rpc_error.Timeout
+        end
+        else begin
+          if tried > 0 then Stats.tick t.c_failover;
+          let budget = Float.min t.attempt_timeout remaining in
+          match attempt t r ~budget ~command msg with
+          | Ok reply ->
+              mark_healthy t r;
+              if tried > 0 then Stats.tick t.c_failover_ok;
+              Ok reply
+          | Error (Rpc_error.Remote _ | Rpc_error.Busy) as e ->
+              (* The replica answered (or merely has no free channel):
+                 not a health failure, and retrying elsewhere could
+                 re-execute a non-idempotent procedure. *)
+              e
+          | Error (Rpc_error.Timeout | Rpc_error.Rebooted) ->
+              Stats.incr t.stats (Printf.sprintf "replica%d-fail" r.r_idx);
+              mark_suspect t r;
+              go (tried + 1) rest
+        end)
+  in
+  let res = go 0 (order t ~key) in
+  (match res with
+  | Ok reply ->
+      Stats.tick t.c_ok;
+      Trace.packet sim ~host:t.host.Host.name ~proto:"REPLICA" ~dir:`Recv
+        reply
+  | Error _ -> Stats.tick t.c_failed);
+  res
+
+let create ~host ?(policy = Round_robin) ?(attempt_timeout = 0.25)
+    ?(deadline = 1.0) ?max_failovers ?(probation = 0.1) ?(probe_limit = 3)
+    ?(probe_command = 1) ?(below = []) ~endpoints () =
+  let k = Array.length endpoints in
+  if k < 1 then invalid_arg "Select_replica.create: no endpoints";
+  if attempt_timeout <= 0. then
+    invalid_arg "Select_replica.create: attempt_timeout <= 0";
+  if deadline <= 0. then invalid_arg "Select_replica.create: deadline <= 0";
+  let max_failovers =
+    match max_failovers with
+    | Some n when n >= 0 -> n
+    | Some _ -> invalid_arg "Select_replica.create: max_failovers < 0"
+    | None -> k - 1
+  in
+  let p = Proto.create ~host ~name:"REPLICA" ~virtual_:true () in
+  let stats = Proto.stats p in
+  let t =
+    {
+      host;
+      p;
+      replicas =
+        Array.mapi
+          (fun i ep ->
+            {
+              r_idx = i;
+              r_addr = ep.ep_addr;
+              r_call = ep.ep_call;
+              r_health = Healthy;
+              r_probe_fails = 0;
+              r_probe_armed = false;
+            })
+          endpoints;
+      policy;
+      attempt_timeout;
+      deadline;
+      max_failovers;
+      probation;
+      probe_limit;
+      probe_command;
+      rng = Sim.rng (Host.sim host);
+      stats;
+      rr = 0;
+      c_call = Stats.counter stats "call";
+      c_ok = Stats.counter stats "ok";
+      c_failed = Stats.counter stats "failed";
+      c_failover = Stats.counter stats "failovers";
+      c_failover_ok = Stats.counter stats "failover-ok";
+      c_attempt_timeout = Stats.counter stats "attempt-timeout";
+      c_deadline_expired = Stats.counter stats "deadline-expired";
+      c_probe_sent = Stats.counter stats "probe-sent";
+      c_probe_ok = Stats.counter stats "probe-ok";
+      c_late_ok = Stats.counter stats "late-ok";
+    }
+  in
+  Proto.set_ops p
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "Select_replica: use call");
+      open_enable =
+        (fun ~upper:_ _ -> invalid_arg "Select_replica: client-side only");
+      open_done = (fun ~upper:_ _ -> invalid_arg "Select_replica: use call");
+      demux =
+        (fun ~lower:_ _ ->
+          (* Headerless virtual protocol: replies come back through the
+             per-replica call path, never by demux. *)
+          Stats.incr t.stats "rx-unexpected");
+      p_control = (fun req -> Stats.control t.stats req);
+    };
+  if below <> [] then Proto.declare_below p below;
+  set_gauges t;
+  t
+
+let of_select ~host ~select ~servers ?policy ?attempt_timeout ?deadline
+    ?max_failovers ?probation ?probe_limit ?probe_command () =
+  let endpoints =
+    Array.map
+      (fun addr ->
+        (* Connect lazily, from inside the first calling fiber, like
+           every Stacks builder does. *)
+        let cl = ref None in
+        {
+          ep_addr = addr;
+          ep_call =
+            (fun ~command msg ->
+              let c =
+                match !cl with
+                | Some c -> c
+                | None ->
+                    let c = Select.connect select ~server:addr in
+                    cl := Some c;
+                    c
+              in
+              Select.call c ~command msg);
+        })
+      servers
+  in
+  create ~host ?policy ?attempt_timeout ?deadline ?max_failovers ?probation
+    ?probe_limit ?probe_command
+    ~below:[ Select.proto select ]
+    ~endpoints ()

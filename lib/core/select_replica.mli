@@ -1,0 +1,110 @@
+(** REPLICA: client-side replicated-server selection and failover.
+
+    A headerless virtual protocol composed above K server bindings
+    (normally K {!Select} connections, one per replica).  Each call
+    picks a replica by policy — round-robin or a static key hash — and
+    runs a {e bounded} attempt against it: the underlying call executes
+    in its own fiber and the caller waits at most [attempt_timeout], so
+    failing over to a healthy replica never requires burning the dead
+    host's full RTO ladder.  Attempt outcomes drive a per-replica
+    health machine:
+
+    - [Healthy] — preferred; a successful call (re)establishes it.
+    - [Suspect] — entered on [Timeout]/[Rebooted]; a probation timer
+      with seeded jitter fires a null-call recovery probe.
+    - [Dead] — after [probe_limit] consecutive failed probes; probing
+      stops (keeping the event queue drainable when a replica never
+      returns) and the replica is tried only as a last resort.  A
+      last-resort success — or the late completion of an abandoned
+      attempt — resurrects it.
+
+    [Remote]/[Busy] results return immediately without failover: the
+    replica answered, and re-sending a non-idempotent procedure to a
+    different replica could execute it twice.
+
+    The whole call is bounded by [deadline]; when it expires the call
+    fails with [Timeout] and the ["deadline-expired"] counter ticks.
+    Counters (["failovers"], ["failover-ok"], ["probe-sent"],
+    ["probe-ok"], ["attempt-timeout"], per-replica ["replicaN-*"]) and
+    gauges (["replica-suspect"], ["replica-dead"]) live in the
+    protocol's ["host/REPLICA"] stats table. *)
+
+type t
+
+type policy =
+  | Round_robin  (** rotate the preferred replica per call *)
+  | Hash  (** preferred replica = [key mod K]; successors on failover *)
+
+type health = Healthy | Suspect | Dead
+
+type endpoint = {
+  ep_addr : Xkernel.Addr.Ip.t;
+  ep_call :
+    command:int -> Xkernel.Msg.t -> (Xkernel.Msg.t, Rpc_error.t) result;
+}
+(** One replica binding: its address plus a blocking call function
+    (whatever stack the replica is reached through). *)
+
+val create :
+  host:Xkernel.Host.t ->
+  ?policy:policy ->
+  ?attempt_timeout:float ->
+  ?deadline:float ->
+  ?max_failovers:int ->
+  ?probation:float ->
+  ?probe_limit:int ->
+  ?probe_command:int ->
+  ?below:Xkernel.Proto.t list ->
+  endpoints:endpoint array ->
+  unit ->
+  t
+(** [create ~host ~endpoints ()] is a replica map over [endpoints].
+    [attempt_timeout] (default 0.25 s) bounds each per-replica attempt;
+    [deadline] (default 1 s) bounds the whole call including all
+    failovers; [max_failovers] (default K-1) caps extra attempts;
+    [probation] (default 0.1 s) is the base suspect-to-probe delay,
+    doubled per failed probe with seeded jitter from the simulator rng;
+    [probe_command] (default 1, the null procedure) is the recovery
+    probe; [below] records the protocol graph for [pp_graph]. *)
+
+val of_select :
+  host:Xkernel.Host.t ->
+  select:Select.t ->
+  servers:Xkernel.Addr.Ip.t array ->
+  ?policy:policy ->
+  ?attempt_timeout:float ->
+  ?deadline:float ->
+  ?max_failovers:int ->
+  ?probation:float ->
+  ?probe_limit:int ->
+  ?probe_command:int ->
+  unit ->
+  t
+(** [of_select ~host ~select ~servers ()] fronts one {!Select} client
+    instance with one lazily-opened connection per server address —
+    the standard way to build the layer over an L.RPC or M.RPC
+    stack. *)
+
+val call :
+  t ->
+  ?key:int ->
+  command:int ->
+  Xkernel.Msg.t ->
+  (Xkernel.Msg.t, Rpc_error.t) result
+(** [call t ~command msg] runs the RPC against the replica set.  [key]
+    selects the preferred replica under [Hash] (ignored — and the
+    round-robin cursor used — when absent).  Blocks the calling fiber
+    for at most [deadline] simulated seconds. *)
+
+val proto : t -> Xkernel.Proto.t
+val replica_count : t -> int
+
+val health : t -> int -> health
+(** This client's current opinion of replica [i]. *)
+
+val failovers : t -> int
+(** Failover attempts made (the ["failovers"] counter). *)
+
+val probes_sent : t -> int
+
+val probes_ok : t -> int

@@ -197,6 +197,129 @@ let lrpc_fanin ?adaptive ?rto_load_floor ?n_channels (f : World.fanin) =
     fan_server = f.World.server.World.host;
   }
 
+type fanout_stack = {
+  fos_name : string;
+  fos_call :
+    int -> ?key:int -> command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+  fos_clients : Host.t array;
+  fos_servers : Host.t array;
+  fos_replicas : Select_replica.t array;
+}
+
+let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
+    ?deadline ?max_failovers ?probation ?probe_limit (f : World.fanout) =
+  Array.iter
+    (fun (n : World.node) ->
+      let _, _, sel_s = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
+      standard_handlers (Select.register sel_s);
+      Select.serve sel_s)
+    f.World.servers;
+  let server_ips =
+    Array.map (fun (n : World.node) -> n.World.host.Host.ip) f.World.servers
+  in
+  let replicas =
+    Array.map
+      (fun (n : World.node) ->
+        let _, _, sel_c = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
+        Select_replica.of_select ~host:n.World.host ~select:sel_c
+          ~servers:server_ips ?policy ?attempt_timeout ?deadline ?max_failovers
+          ?probation ?probe_limit ())
+      f.World.fo_clients
+  in
+  {
+    fos_name = "L.RPC-VIP-REPLICA";
+    fos_call =
+      (fun i ?key ~command msg ->
+        Select_replica.call replicas.(i) ?key ~command msg);
+    fos_clients =
+      Array.map (fun (n : World.node) -> n.World.host) f.World.fo_clients;
+    fos_servers =
+      Array.map (fun (n : World.node) -> n.World.host) f.World.servers;
+    fos_replicas = replicas;
+  }
+
+let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
+    ?max_failovers ?probation ?probe_limit (f : World.fanout) =
+  let proto_num = 91 in
+  let lower_name, lower_of =
+    match lower with
+    | L_eth -> ("ETH", fun (n : World.node) -> Netproto.Eth.proto n.eth)
+    | L_ip -> ("IP", fun (n : World.node) -> Netproto.Ip.proto n.ip)
+    | L_vip -> ("VIP", fun (n : World.node) -> Netproto.Vip.proto n.vip)
+  in
+  let eth_type = Addr.eth_type_of_ip_proto proto_num in
+  Array.iter
+    (fun (s : World.node) ->
+      let m_s =
+        Sprite_mono.create ~host:s.World.host ~lower:(lower_of s) ~proto_num
+          ?n_channels ()
+      in
+      standard_handlers (Sprite_mono.register m_s);
+      match lower with
+      | L_eth -> Sprite_mono.serve m_s ~enable:[ Part.Eth_type eth_type ] ()
+      | L_ip | L_vip -> Sprite_mono.serve m_s ())
+    f.World.servers;
+  let mk_client (n : World.node) =
+    let m_c =
+      Sprite_mono.create ~host:n.World.host ~lower:(lower_of n) ~proto_num
+        ?n_channels ()
+    in
+    let endpoints =
+      Array.map
+        (fun (s : World.node) ->
+          let server_ip = s.World.host.Host.ip in
+          let client = ref None in
+          {
+            Select_replica.ep_addr = server_ip;
+            ep_call =
+              (fun ~command msg ->
+                let cl =
+                  match !client with
+                  | Some cl -> cl
+                  | None ->
+                      let cl =
+                        match lower with
+                        | L_eth ->
+                            let peer_eth =
+                              match
+                                Netproto.Arp.resolve n.World.arp server_ip
+                              with
+                              | Some e -> e
+                              | None ->
+                                  failwith
+                                    "mrpc_fanout-eth: cannot resolve server"
+                            in
+                            Sprite_mono.connect m_c ~server:server_ip
+                              ~remote:
+                                [ Part.Eth peer_eth; Part.Eth_type eth_type ]
+                              ()
+                        | L_ip | L_vip ->
+                            Sprite_mono.connect m_c ~server:server_ip ()
+                      in
+                      client := Some cl;
+                      cl
+                in
+                Sprite_mono.call cl ~command msg);
+          })
+        f.World.servers
+    in
+    Select_replica.create ~host:n.World.host ?policy ?attempt_timeout ?deadline
+      ?max_failovers ?probation ?probe_limit
+      ~below:[ Sprite_mono.proto m_c ] ~endpoints ()
+  in
+  let replicas = Array.map mk_client f.World.fo_clients in
+  {
+    fos_name = "M.RPC-" ^ lower_name ^ "-REPLICA";
+    fos_call =
+      (fun i ?key ~command msg ->
+        Select_replica.call replicas.(i) ?key ~command msg);
+    fos_clients =
+      Array.map (fun (n : World.node) -> n.World.host) f.World.fo_clients;
+    fos_servers =
+      Array.map (fun (n : World.node) -> n.World.host) f.World.servers;
+    fos_replicas = replicas;
+  }
+
 (* SELECT-CHANNEL-VIPsize, with FRAGMENT moved below VIPsize and
    VIPaddr below both (Figure 3(b)). *)
 let lrpc_vip_size_node (n : World.node) =

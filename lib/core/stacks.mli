@@ -71,6 +71,63 @@ val lrpc_fanin :
 (** SELECT-CHANNEL-FRAGMENT-VIP fan-in: a full layered client stack
     per client host, one serving stack. *)
 
+(** {1 Fan-out (replicated) configurations}
+
+    The failover experiment drives M client hosts into K server
+    replicas over a {!Netproto.World.fanout} topology.  Each client
+    host gets its own stack {e plus} a {!Select_replica} map over all
+    K servers; each server host runs a full serving stack with the
+    standard procedures registered. *)
+
+type fanout_stack = {
+  fos_name : string;
+  fos_call :
+    int ->
+    ?key:int ->
+    command:int ->
+    Xkernel.Msg.t ->
+    (Xkernel.Msg.t, Rpc_error.t) result;
+      (** [fos_call i] runs one RPC from client host [i] through its
+          replica map (failover included); must be called inside a
+          fiber.  [key] pins the preferred replica under
+          [Select_replica.Hash]. *)
+  fos_clients : Xkernel.Host.t array;
+  fos_servers : Xkernel.Host.t array;
+  fos_replicas : Select_replica.t array;
+      (** One replica map per client host, index-aligned with
+          [fos_clients] — for health/failover introspection. *)
+}
+
+val lrpc_fanout :
+  ?adaptive:bool ->
+  ?rto_load_floor:bool ->
+  ?n_channels:int ->
+  ?policy:Select_replica.policy ->
+  ?attempt_timeout:float ->
+  ?deadline:float ->
+  ?max_failovers:int ->
+  ?probation:float ->
+  ?probe_limit:int ->
+  Netproto.World.fanout ->
+  fanout_stack
+(** REPLICA over SELECT-CHANNEL-FRAGMENT-VIP: a full layered client
+    stack per client host with one lazily-opened connection per
+    server replica. *)
+
+val mrpc_fanout :
+  ?lower:mono_lower ->
+  ?n_channels:int ->
+  ?policy:Select_replica.policy ->
+  ?attempt_timeout:float ->
+  ?deadline:float ->
+  ?max_failovers:int ->
+  ?probation:float ->
+  ?probe_limit:int ->
+  Netproto.World.fanout ->
+  fanout_stack
+(** REPLICA over monolithic Sprite RPC (default lower [L_vip]), one
+    client instance per host fanned out to K server instances. *)
+
 val lrpc_vip_size : Netproto.World.t -> endpoints
 (** SELECT-CHANNEL-VIPsize with FRAGMENT below VIPsize and VIPaddr at
     the bottom (Figure 3(b)) — the section 4.3 configuration that

@@ -54,6 +54,22 @@ let create_fanin ?max_events ?(clients = 4) ?profile ?seed () =
     clients = Array.sub t.nodes 1 clients;
   }
 
+type fanout = { fo : t; servers : node array; fo_clients : node array }
+
+(* Servers occupy node (and device) indices 0 .. servers-1, so a chaos
+   plan targeting replica k is simply [Crash k] against {!devices}. *)
+let create_fanout ?max_events ?(clients = 4) ?(servers = 2) ?profile ?seed () =
+  if clients < 1 then invalid_arg "World.create_fanout: clients < 1";
+  if servers < 1 then invalid_arg "World.create_fanout: servers < 1";
+  let t = create ?max_events ~n:(servers + clients) ?profile ?seed () in
+  {
+    fo = t;
+    servers = Array.sub t.nodes 0 servers;
+    fo_clients = Array.sub t.nodes servers clients;
+  }
+
+let devices t = Array.map (fun n -> n.dev) t.nodes
+
 let node t i = t.nodes.(i)
 let ip_of t i = (node t i).host.Host.ip
 let run ?until t = Sim.run ?until t.sim

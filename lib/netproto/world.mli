@@ -46,6 +46,30 @@ val create_fanin :
     subsystem ({!Rpc.Load}) fans M client hosts into the single
     server. *)
 
+type fanout = {
+  fo : t;
+  servers : node array;  (** nodes 0..servers-1 *)
+  fo_clients : node array;  (** nodes servers.. *)
+}
+
+val create_fanout :
+  ?max_events:int ->
+  ?clients:int ->
+  ?servers:int ->
+  ?profile:Xkernel.Machine.profile ->
+  ?seed:int ->
+  unit ->
+  fanout
+(** [create_fanout ~clients ~servers ()] is the replication topology: K
+    server replicas (default 2) plus M client hosts (default 4), all on
+    one wire.  Servers occupy node — and therefore {!devices} — indices
+    [0..K-1], so a {!Xkernel.Chaos} plan can target replica [k] with
+    [Crash k] directly. *)
+
+val devices : t -> Xkernel.Netdev.t array
+(** One device per node, in node order — the [devices] array a
+    {!Xkernel.Chaos.apply} call wants. *)
+
 val node : t -> int -> node
 val ip_of : t -> int -> Xkernel.Addr.Ip.t
 

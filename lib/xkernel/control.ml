@@ -18,6 +18,7 @@ type req =
   | Get_timeout
   | Set_timeout of float
   | Get_rto
+  | Get_rto_backed
   | Get_srtt
   | Get_retries
   | Set_retries of int
@@ -93,6 +94,7 @@ let pp_req fmt req =
     | Get_timeout -> "Get_timeout"
     | Set_timeout t -> Printf.sprintf "Set_timeout(%g)" t
     | Get_rto -> "Get_rto"
+    | Get_rto_backed -> "Get_rto_backed"
     | Get_srtt -> "Get_srtt"
     | Get_retries -> "Get_retries"
     | Set_retries n -> Printf.sprintf "Set_retries(%d)" n

@@ -30,7 +30,10 @@ type req =
   | Get_boot_id
   | Get_timeout
   | Set_timeout of float
-  | Get_rto  (** effective retransmission timeout: fragment-aware, post-backoff *)
+  | Get_rto  (** base retransmission timeout: fragment-aware, pre-backoff *)
+  | Get_rto_backed
+      (** retransmission timeout the next transmission would arm,
+          including any persistent (Karn) backoff multiplier *)
   | Get_srtt  (** smoothed round-trip estimate; 0 before any sample *)
   | Get_retries
   | Set_retries of int

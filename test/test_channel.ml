@@ -202,6 +202,45 @@ let effective_timeout_reported () =
     (rto < 0.02);
   Alcotest.(check bool) "RTO covers the measured RTT" true (rto > srtt)
 
+let backoff_decays_after_fresh_sample () =
+  (* Karn backoff persistence must not outlive the loss that earned it:
+     a retransmitted-but-completed transaction decays the multiplier
+     one step, and the first fresh sample clears it outright, so the
+     armed RTO returns to srtt + 4*rttvar within one clean call. *)
+  let w = World.create () in
+  let ch0, _, sess, _ = setup w in
+  let s = sess 0 in
+  let get req = Control.float_exn (Proto.session_control s req) in
+  for _ = 1 to 3 do
+    ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")))
+  done;
+  (* Drop the next two frames: the call completes only after two
+     retransmissions, so Karn's rule yields no sample and the backoff
+     multiplier is pumped to 2. *)
+  let drops = ref 2 in
+  Wire.set_fault_hook w.World.wire
+    (Some
+       (fun _ _ ->
+         if !drops > 0 then begin
+           decr drops;
+           [ Wire.Drop ]
+         end
+         else []));
+  ignore (Tutil.ok_exn "lossy" (call w ch0 s (Msg.of_string "x")));
+  Wire.set_fault_hook w.World.wire None;
+  let bare = get Control.Get_rto in
+  (* The completion itself decayed one of the two backoff steps; the
+     next transmission would still arm double the bare estimate. *)
+  Alcotest.(check (float 1e-12)) "one backoff step survives the completion"
+    (2. *. bare)
+    (get Control.Get_rto_backed);
+  ignore (Tutil.ok_exn "clean" (call w ch0 s (Msg.of_string "y")));
+  let rto = get Control.Get_rto in
+  Alcotest.(check (float 1e-12)) "fresh sample restores srtt + 4*rttvar" rto
+    (get Control.Get_rto_backed);
+  Alcotest.(check bool) "and the estimate is live" true
+    (rto > get Control.Get_srtt)
+
 let fixed_timeout_unchanged () =
   (* With adaptation off the step function governs forever. *)
   let w = World.create () in
@@ -399,6 +438,8 @@ let () =
           Alcotest.test_case "timeout when server gone" `Quick timeout_when_server_gone;
           Alcotest.test_case "effective timeout reported" `Quick
             effective_timeout_reported;
+          Alcotest.test_case "backoff decays after fresh sample" `Quick
+            backoff_decays_after_fresh_sample;
           Alcotest.test_case "fixed timeout unchanged" `Quick
             fixed_timeout_unchanged;
           Alcotest.test_case "step-function timeout" `Quick

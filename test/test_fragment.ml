@@ -161,6 +161,47 @@ let idle_receiver_prunes_recent () =
   Tutil.check_int "prunes counted" 20
     (Tutil.stat (Fragment.proto f1) "recent-pruned")
 
+let reboot_clears_partial_reassembly () =
+  (* A reboot mid-reassembly must drop the partial message with the
+     crashed kernel.  Without the at_reboot hook the surviving gap
+     timer would find the stale entry, NACK for the missing fragment,
+     and the sender's retransmission would complete a pre-crash message
+     into the new incarnation. *)
+  let w = World.create () in
+  let n1 = World.node w 1 in
+  let _, f1, sess, got = setup w in
+  let partial = ref (-1) and after_reboot = ref (-1) in
+  Tutil.run_in w (fun () ->
+      (* Drop the third frame of the four-fragment message, leaving the
+         receiver holding a partial reassembly with a gap timer armed. *)
+      let n = ref 0 in
+      Wire.set_fault_hook w.World.wire
+        (Some
+           (fun _ _ ->
+             incr n;
+             if !n = 3 then [ Wire.Drop ] else []));
+      Proto.push sess (Msg.of_string (Tutil.body 4096));
+      Wire.set_fault_hook w.World.wire None;
+      Sim.delay w.World.sim 0.01;
+      partial := Fragment.reasm_count f1;
+      Host.reboot n1.World.host;
+      after_reboot := Fragment.reasm_count f1);
+  Tutil.check_int "partial reassembly held before the crash" 1 !partial;
+  Tutil.check_int "cleared by the reboot" 0 !after_reboot;
+  (* The run has drained: every surviving gap/cache timer fired and
+     no-opped.  No NACK was sent, nothing was delivered. *)
+  Alcotest.(check (list string)) "pre-crash message never delivered" [] !got;
+  Tutil.check_int "no NACK from the new incarnation" 0
+    (Tutil.stat (Fragment.proto f1) "nack-tx");
+  Tutil.check_int "dedup tables died with the kernel" 0
+    (Fragment.recent_count f1);
+  Tutil.check_int "crash reset counted" 1
+    (Tutil.stat (Fragment.proto f1) "crash-reset");
+  (* The layer still works across the boot: a fresh post-reboot message
+     (fresh sequence number — the sender keeps counting) is delivered. *)
+  Tutil.run_in w (fun () -> Proto.push sess (Msg.of_string "fresh"));
+  Alcotest.(check (list string)) "post-reboot delivery" [ "fresh" ] !got
+
 let resend_is_new_message () =
   (* A higher-level retransmission through FRAGMENT gets a fresh
      sequence number and is delivered again: FRAGMENT does not dedup
@@ -247,6 +288,8 @@ let () =
           Alcotest.test_case "gives up eventually" `Quick gives_up_after_nack_retries;
           Alcotest.test_case "duplicate suppression" `Quick duplicate_suppression;
           Alcotest.test_case "re-push is a new message" `Quick resend_is_new_message;
+          Alcotest.test_case "reboot clears partial reassembly" `Quick
+            reboot_clears_partial_reassembly;
           Alcotest.test_case "idle receiver prunes dedup table" `Quick
             idle_receiver_prunes_recent;
           Alcotest.test_case "reorder within message" `Quick reorder_within_message;

@@ -163,6 +163,24 @@ let open_uniform_deterministic_arrivals () =
    spurious retransmissions to a trickle; with the floor disabled the
    same run still storms, which is what makes this a regression test
    of the floor rather than of the workload. *)
+(* --- chaos under load: liveness ------------------------------------------ *)
+
+let crash_under_load_no_hung_fibers () =
+  (* Crashing the single fan-in server mid-run must not strand any
+     fiber: every dispatched call ends in a reply, a Timeout or a
+     Rebooted, so run_open's accounting balances and the run drains.
+     (A hung fiber would leave pending calls unaccounted for.) *)
+  let f = World.create_fanin ~clients:4 () in
+  let w = f.World.fan in
+  Chaos.apply ~wire:w.World.wire ~devices:(World.devices w)
+    [ { Chaos.from_t = 0.15; until_t = 0.16; spec = Chaos.Crash 0 } ];
+  let r = Load.run_open ~rate:800. ~arrivals:200 f (Stacks.lrpc_fanin f) in
+  Tutil.check_int "every arrival accounted for" 200
+    (r.Load.completed + r.Load.failed + r.Load.shed);
+  Alcotest.(check bool) "the crash was observed" true (r.Load.failed > 0);
+  Alcotest.(check bool) "calls completed after the restart" true
+    (r.Load.completed > r.Load.failed)
+
 let arto_storm ~rto_load_floor =
   Stats.reset_registry ();
   let f = World.create_fanin ~clients:4 () in
@@ -232,6 +250,11 @@ let () =
           Alcotest.test_case "past knee: sheds" `Quick open_past_knee;
           Alcotest.test_case "uniform arrivals" `Quick
             open_uniform_deterministic_arrivals;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "server crash: no hung fibers" `Quick
+            crash_under_load_no_hung_fibers;
         ] );
       ( "arto",
         [
