@@ -292,6 +292,7 @@ let () =
       ("loss_sweep", E.loss_sweep ());
       ("capacity", E.capacity ());
       ("failover", E.failover ());
+      ("overload", E.overload ());
       ( "harness",
         harness
           ~calls:opts.o_harness_calls

@@ -21,6 +21,8 @@ type cap_opts = {
   cap_window : int option;
   cap_conc : int list option;
   cap_servers : int option;
+  cap_controls : string list option;
+  cap_spike : float option;
 }
 
 let experiments cap =
@@ -52,6 +54,12 @@ let experiments cap =
             | Some (r :: _) -> Some r
             | _ -> None)
           ?arrivals:cap.cap_arrivals ?window:cap.cap_window () );
+    ( "overload",
+      fun () ->
+        E.overload ?servers:cap.cap_servers ?clients:cap.cap_clients
+          ?rates:cap.cap_rates ?arrivals:cap.cap_arrivals
+          ?window:cap.cap_window ?controls:cap.cap_controls
+          ?spike:cap.cap_spike () );
   ]
 
 let write_json path doc =
@@ -279,7 +287,26 @@ let cap_opts_term =
       & info [ "servers" ] ~docv:"K"
           ~doc:"Failover experiment: server replicas behind the REPLICA map")
   in
-  let assemble stacks rates arrivals clients window conc servers =
+  let controls =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "controls" ] ~docv:"C1,C2"
+          ~doc:
+            "Overload sweep: control stacks to compare (none, deadline, \
+             deadline+admit, full)")
+  in
+  let spike =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "spike" ] ~docv:"SECS"
+          ~doc:
+            "Overload sweep: add a delay spike of $(docv) seconds over the \
+             middle half of each step")
+  in
+  let assemble stacks rates arrivals clients window conc servers controls spike
+      =
     {
       cap_stacks = Option.map (fun s -> String.split_on_char ',' s) stacks;
       cap_rates =
@@ -289,11 +316,13 @@ let cap_opts_term =
       cap_window = window;
       cap_conc = Option.bind conc (split_list int_of_string "concurrency");
       cap_servers = servers;
+      cap_controls = Option.map (fun s -> String.split_on_char ',' s) controls;
+      cap_spike = spike;
     }
   in
   Term.(
     const assemble $ stacks $ rates $ arrivals $ clients $ window $ conc
-    $ servers)
+    $ servers $ controls $ spike)
 
 let exp_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in

@@ -8,6 +8,10 @@ type outstanding = {
   payload : Msg.t;
   sent_at : float; (* first transmission time, for the RTT sample *)
   sent_load : int; (* protocol-wide in-flight count when first sent *)
+  expires : float option;
+      (* absolute sim time of the caller's deadline; each (re)transmit
+         stamps the *remaining* budget into the header, and the
+         retransmit timer gives up outright once it has passed *)
   mutable timer : Event.t option;
   mutable tries_left : int;
   mutable acked : bool; (* explicit ACK received: server is working *)
@@ -29,6 +33,10 @@ type sess = {
   mutable client_boot : int;
   mutable cached_reply : Msg.t option; (* encoded, ready to retransmit *)
   mutable busy : bool;
+  mutable rx_expires : float option;
+      (* server role: absolute expiry of the request currently being
+         served, reconstructed from the propagated remaining budget at
+         decode time; admission layers read it via [Get_rx_deadline] *)
   (* adaptive RTO estimator (Jacobson), per channel *)
   mutable srtt : float; (* negative: no sample yet *)
   mutable rttvar : float;
@@ -73,7 +81,18 @@ type t = {
 let proto t = t.p
 let n_channels t = t.chans
 
-let header t s ~flags ~seq ~error =
+(* Remaining budget in microseconds at this instant; 0 once the
+   deadline has passed (the server treats a zero stamp as already
+   expired), -1 when no deadline is being propagated. *)
+let deadline_us_of t expires =
+  match expires with
+  | None -> -1
+  | Some e ->
+      let rem = (e -. Sim.now (Host.sim t.host)) *. 1e6 in
+      if rem <= 0. then 0
+      else min (int_of_float rem) C.max_deadline_us
+
+let header ?(expires = None) t s ~flags ~seq ~error =
   {
     C.flags;
     channel = s.chan;
@@ -81,10 +100,14 @@ let header t s ~flags ~seq ~error =
     sequence_num = seq;
     error;
     boot_id = t.host.Host.boot_id;
+    deadline_us = deadline_us_of t expires;
   }
 
 let transmit t s hdr payload =
-  Machine.charge_one t.host.Host.mach (Machine.Header C.bytes);
+  let hdr_bytes =
+    if hdr.C.deadline_us >= 0 then C.bytes + C.ext_bytes else C.bytes
+  in
+  Machine.charge_one t.host.Host.mach (Machine.Header hdr_bytes);
   let encoded = Msg.push payload (C.encode hdr) in
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"CHANNEL"
     ~dir:`Send encoded;
@@ -219,6 +242,7 @@ let crash_session t s =
   s.client_boot <- 0;
   s.cached_reply <- None;
   s.busy <- false;
+  s.rx_expires <- None;
   s.srtt <- -1.;
   s.rttvar <- 0.;
   s.backoff <- 0;
@@ -230,14 +254,28 @@ let rec arm_timer t s o timeout =
       (Event.schedule t.host timeout (fun () ->
            match s.out with
            | Some o' when o' == o ->
-               if o.tries_left <= 0 then complete t s (Error Rpc_error.Timeout)
+               let expired =
+                 match o.expires with
+                 | Some e -> e <= Sim.now (Host.sim t.host)
+                 | None -> false
+               in
+               if expired then begin
+                 (* The caller's budget is spent: retransmitting would
+                    only feed the server work it will discard. *)
+                 Stats.incr t.stats "deadline-give-up";
+                 complete t s (Error Rpc_error.Timeout)
+               end
+               else if o.tries_left <= 0 then
+                 complete t s (Error Rpc_error.Timeout)
                else begin
                  o.tries_left <- o.tries_left - 1;
                  Stats.incr t.stats "retransmit";
                  (* A retransmission asks the server to acknowledge
-                    explicitly if it is still working. *)
+                    explicitly if it is still working; the deadline
+                    extension carries the budget *remaining now*, not
+                    the original stamp. *)
                  let hdr =
-                   header t s
+                   header ~expires:o.expires t s
                      ~flags:(Wire_fmt.Flags.request lor Wire_fmt.Flags.please_ack)
                      ~seq:o.o_seq ~error:0
                  in
@@ -261,7 +299,7 @@ let rec arm_timer t s o timeout =
                end
            | _ -> ()))
 
-let send_request_free t s ~iv payload =
+let send_request_free t s ~iv ~expires payload =
   (* Sequence numbers start at 1: a fresh server-side channel holds
      last_seq = 0, so the first request must compare greater. *)
   s.next_seq <- s.next_seq + 1;
@@ -274,6 +312,7 @@ let send_request_free t s ~iv payload =
       payload;
       sent_at = Sim.now (Host.sim t.host);
       sent_load = t.in_flight;
+      expires;
       timer = None;
       tries_left = t.retries;
       acked = false;
@@ -286,11 +325,13 @@ let send_request_free t s ~iv payload =
      process blocks until the reply wakes it. *)
   Machine.charge t.host.Host.mach
     [ Machine.Semaphore_op; Machine.Process_switch ];
-  transmit t s (header t s ~flags:Wire_fmt.Flags.request ~seq ~error:0) payload;
+  transmit t s
+    (header ~expires t s ~flags:Wire_fmt.Flags.request ~seq ~error:0)
+    payload;
   arm_timer t s o
     (backed_rto t s (Msg.length payload + C.bytes) *. load_scale t s)
 
-let send_request t s ~iv payload =
+let send_request ?(expires = None) t s ~iv payload =
   match s.out with
   | Some _ -> (
       (* A transaction is already outstanding.  This must not raise: on
@@ -301,11 +342,18 @@ let send_request t s ~iv payload =
       | Some iv ->
           Stats.incr t.stats "call-busy";
           Sim.Ivar.fill iv (Error Rpc_error.Busy)
-      | None -> Stats.incr t.stats "uniform-busy")
-  | None -> send_request_free t s ~iv payload
+      | None ->
+          Stats.incr t.stats "uniform-busy";
+          (* Surface the drop where it hurts: on the protocol whose
+             message was silently discarded, with a trace hook so a
+             per-layer capture sees it. *)
+          Stats.incr (Proto.stats s.upper) "busy-dropped";
+          Trace.packet (Host.sim t.host) ~host:t.host.Host.name
+            ~proto:(Proto.name s.upper) ~dir:`Send payload)
+  | None -> send_request_free t s ~iv ~expires payload
 
-let send_reply t s payload =
-  let hdr = header t s ~flags:Wire_fmt.Flags.reply ~seq:s.last_seq ~error:0 in
+let send_reply ?(error = 0) t s payload =
+  let hdr = header t s ~flags:Wire_fmt.Flags.reply ~seq:s.last_seq ~error in
   Stats.tick t.c_reply_tx;
   s.busy <- false;
   let encoded = Msg.push payload (C.encode hdr) in
@@ -342,11 +390,23 @@ let handle_request t s (hdr : C.t) body =
             Msg.empty
         end
   end
+  else if hdr.C.deadline_us = 0 then
+    (* The request arrived with its propagated budget already spent:
+       the caller has given up, so executing it — or even claiming the
+       channel — would be pure waste.  Dropping here is indistinguishable
+       from packet loss, which at-most-once semantics already absorb. *)
+    Stats.incr t.stats "deadline-expired-server"
   else begin
     (* A new request implicitly acknowledges the previous reply. *)
     s.last_seq <- hdr.C.sequence_num;
     s.cached_reply <- None;
     s.busy <- true;
+    s.rx_expires <-
+      (if hdr.C.deadline_us > 0 then
+         Some
+           (Sim.now (Host.sim t.host)
+           +. (float_of_int hdr.C.deadline_us *. 1e-6))
+       else None);
     Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
     Proto.deliver s.upper ~lower:(Option.get s.xs) body
   end
@@ -385,6 +445,13 @@ let handle_reply t s (hdr : C.t) body =
       else
         match hdr.C.error with
         | 0 -> complete t s (Ok body)
+        | e when e = C.err_busy ->
+            (* Explicit admission pushback: the server refused the call
+               in one RTT.  Surfaced as [Busy] so the replica layer can
+               treat it as backoff pressure rather than a health
+               failure. *)
+            Stats.incr t.stats "busy-reply-rx";
+            complete t s (Error Rpc_error.Busy)
         | e -> complete t s (Error (Rpc_error.Remote e)))
   | _ -> Stats.incr t.stats "stale-rx"
 
@@ -395,15 +462,12 @@ let handle_ack t s (hdr : C.t) =
       o.acked <- true
   | _ -> Stats.incr t.stats "stale-rx"
 
-let handle_packet t s raw body =
-  match C.decode raw with
-  | None -> Stats.incr t.stats "rx-malformed"
-  | Some hdr ->
-      let f = hdr.C.flags in
-      if f land Wire_fmt.Flags.request <> 0 then handle_request t s hdr body
-      else if f land Wire_fmt.Flags.reply <> 0 then handle_reply t s hdr body
-      else if f land Wire_fmt.Flags.ack <> 0 then handle_ack t s hdr
-      else Stats.incr t.stats "rx-malformed"
+let handle_packet t s hdr body =
+  let f = hdr.C.flags in
+  if f land Wire_fmt.Flags.request <> 0 then handle_request t s hdr body
+  else if f land Wire_fmt.Flags.reply <> 0 then handle_reply t s hdr body
+  else if f land Wire_fmt.Flags.ack <> 0 then handle_ack t s hdr
+  else Stats.incr t.stats "rx-malformed"
 
 let lower_part t ~peer =
   Part.v
@@ -428,6 +492,7 @@ let make_session t ~upper ~peer ~proto_num ~chan =
       client_boot = 0;
       cached_reply = None;
       busy = false;
+      rx_expires = None;
       srtt = -1.;
       rttvar = 0.;
       backoff = 0;
@@ -453,6 +518,15 @@ let make_session t ~upper ~peer ~proto_num ~chan =
         Control.R_float (request_rto t s s.last_len)
     | Control.Get_rto_backed -> Control.R_float (backed_rto t s s.last_len)
     | Control.Get_srtt -> Control.R_float (Float.max s.srtt 0.)
+    | Control.Get_rx_deadline ->
+        Control.R_float (Option.value s.rx_expires ~default:(-1.))
+    | Control.Reject_busy ->
+        (* An admission layer refusing the request currently claiming
+           this channel: answer it with the explicit busy-pushback
+           error.  Cached like any reply, so a duplicate of the refused
+           request gets the same verdict. *)
+        send_reply ~error:C.err_busy t s Msg.empty;
+        Control.R_unit
     | ( Control.Get_frag_size | Control.Get_max_packet
       | Control.Get_opt_packet ) as req ->
         Proto.session_control s.lower_sess req
@@ -520,21 +594,39 @@ let input t ~lower msg =
           match C.decode raw with
           | None -> Stats.incr t.stats "rx-malformed"
           | Some hdr -> (
-              let key = (Addr.Ip.to_int peer, hdr.C.protocol_num, hdr.C.channel) in
-              match Hashtbl.find_opt t.sessions key with
-              | Some s -> handle_packet t s raw body
-              | None -> (
-                  match Hashtbl.find_opt t.enabled hdr.C.protocol_num with
-                  | Some upper ->
-                      let s =
-                        make_session t ~upper ~peer
-                          ~proto_num:hdr.C.protocol_num ~chan:hdr.C.channel
-                      in
-                      handle_packet t s raw body
-                  | None -> Stats.incr t.stats "rx-unbound"))))
+              (* The optional deadline extension rides between the base
+                 header and the payload. *)
+              let hdr, body =
+                if hdr.C.flags land Wire_fmt.Flags.deadline = 0 then
+                  (Some hdr, body)
+                else
+                  match Msg.pop body C.ext_bytes with
+                  | Some (ext, rest) -> (
+                      match C.decode_ext ext with
+                      | Some d -> (Some { hdr with C.deadline_us = d }, rest)
+                      | None -> (None, rest))
+                  | None -> (None, body)
+              in
+              match hdr with
+              | None -> Stats.incr t.stats "rx-runt"
+              | Some hdr -> (
+                  let key =
+                    (Addr.Ip.to_int peer, hdr.C.protocol_num, hdr.C.channel)
+                  in
+                  match Hashtbl.find_opt t.sessions key with
+                  | Some s -> handle_packet t s hdr body
+                  | None -> (
+                      match Hashtbl.find_opt t.enabled hdr.C.protocol_num with
+                      | Some upper ->
+                          let s =
+                            make_session t ~upper ~peer
+                              ~proto_num:hdr.C.protocol_num ~chan:hdr.C.channel
+                          in
+                          handle_packet t s hdr body
+                      | None -> Stats.incr t.stats "rx-unbound")))))
   | _ -> Stats.incr t.stats "rx-unidentified"
 
-let call t xs msg =
+let call ?expires t xs msg =
   (* O(1): the reverse table maps the exported session back to its
      state without scanning every open channel. *)
   let s =
@@ -543,7 +635,7 @@ let call t xs msg =
     | None -> invalid_arg "Channel.call: not a channel session of this protocol"
   in
   let iv = Sim.Ivar.create (Host.sim t.host) in
-  send_request t s ~iv:(Some iv) msg;
+  send_request ~expires t s ~iv:(Some iv) msg;
   Sim.Ivar.read iv
 
 let create ~host ~lower ?(proto_num = 93) ?(n_channels = 8)

@@ -78,6 +78,7 @@ val proto : t -> Xkernel.Proto.t
 val n_channels : t -> int
 
 val call :
+  ?expires:float ->
   t -> Xkernel.Proto.session -> Xkernel.Msg.t ->
   (Xkernel.Msg.t, Rpc_error.t) result
 (** [call t session request] runs one transaction on [session] (which
@@ -85,7 +86,16 @@ val call :
     retransmits on timeout, and returns the reply.  This is the paper's
     "a high-level protocol pushes a message into the session and a reply
     message is returned".  Raises [Invalid_argument] if a transaction is
-    already outstanding on the channel. *)
+    already outstanding on the channel.
+
+    [expires] (absolute sim time) propagates the caller's deadline: each
+    transmission — including retransmits — stamps the budget remaining
+    {e at that instant} into the header's deadline extension, the
+    retransmit timer gives up with [Error Timeout] once it passes
+    (["deadline-give-up"]), and the server drops requests whose stamp
+    arrives already spent (["deadline-expired-server"]) without touching
+    the channel.  Without [expires] the wire format is byte-identical to
+    the paper's 18-byte header. *)
 
 (** Uniform-interface use: [open_] takes [Ip peer], [Ip_proto n] and
     [Channel c] components.  A plain [push] sends a request whose reply
@@ -97,10 +107,18 @@ val call :
     Session control: [Get_timeout] and [Get_rto] both report the
     {e effective} RTO for a request the size of the last one sent —
     fragment-aware, adaptive once a sample exists; [Get_srtt] reports
-    the smoothed RTT (0 before the first sample).
+    the smoothed RTT (0 before the first sample).  Server-side sessions
+    additionally answer [Get_rx_deadline] (absolute expiry of the
+    request being served, [-1.] if none was propagated) and
+    [Reject_busy] (reply to the claiming request with the explicit
+    busy-pushback error, surfaced at the caller as [Error Busy]) — the
+    hooks an admission-control layer runs on.
 
     Statistics: ["req-tx"], ["req-rx"], ["reply-tx"], ["reply-rx"],
     ["retransmit"], ["ack-tx"], ["ack-rx"], ["dup-req"],
     ["cached-reply-tx"], ["stale-rx"]; estimator: ["rtt-sample"],
     ["karn-skip"], ["rto-backoff"], ["crash-reset"], and gauges
-    ["srtt-us"] / ["rto-us"]. *)
+    ["srtt-us"] / ["rto-us"]; overload control: ["deadline-give-up"],
+    ["deadline-expired-server"], ["busy-reply-rx"], ["uniform-busy"]
+    (plus a ["busy-dropped"] counter on the {e upper} protocol whose
+    uniform push was discarded). *)

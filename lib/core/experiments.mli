@@ -93,3 +93,40 @@ val failover :
     counts, shed counts (total and after heal) and the latency
     histogram.  Deterministic for a fixed parameter set (default world
     seed; uniform arrivals).  Resets the {!Xkernel.Stats} registry. *)
+
+val overload_controls : string list
+(** The four control stacks the overload sweep compares, weakest
+    first: ["none"] (no overload control), ["deadline"] (deadline
+    propagation on the wire), ["deadline+admit"] (plus a server-side
+    {!Admit} layer), ["full"] (plus retry budget and hedging). *)
+
+val overload :
+  ?servers:int ->
+  ?clients:int ->
+  ?rates:float list ->
+  ?arrivals:int ->
+  ?window:int ->
+  ?service_us:int ->
+  ?deadline:float ->
+  ?controls:string list ->
+  ?spike:float ->
+  unit ->
+  Xkernel.Json.t
+(** End-to-end overload control: for each control stack in [controls]
+    (a subset of {!overload_controls}) an open-loop uniform-arrival
+    sweep over [rates] calls/s, [arrivals] arrivals per step, through
+    [clients] clients round-robining over [servers] L.RPC replicas.
+    Every call runs a procedure costing [service_us] of server CPU
+    under a [deadline] (default 25 ms) whole-call bound, with the
+    attempt timeout at half the deadline.  Each step builds a fresh
+    default-seed world and resets the {!Xkernel.Stats} registry, so
+    rows are deterministic and independent.  [spike] adds a
+    {!Xkernel.Chaos.Delay_spike} of that many seconds over the middle
+    half of each step's arrival window.
+
+    Rows use [table = "overload"] and carry goodput, the ground-truth
+    wasted server CPU ([wasted_cpu_us]: service charges completed after
+    the caller's deadline), server-side expired drops and busy rejects,
+    client-side busy receipts, retry-budget exhaustions, failovers,
+    hedge counts, server CPU busy/wait time and the latency
+    histogram. *)

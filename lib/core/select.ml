@@ -45,7 +45,7 @@ let connect t ~server =
 
 let free_channels c = Queue.length c.free
 
-let call c ~command msg =
+let call c ?expires ~command msg =
   let t = c.c_t in
   (* Choose one of the existing channels; block if none is available. *)
   Sim.Semaphore.p c.free_sem;
@@ -59,7 +59,7 @@ let call c ~command msg =
   let request = Msg.push msg hdr in
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"SELECT"
     ~dir:`Send request;
-  let result = Channel.call t.channel chan_sess request in
+  let result = Channel.call ?expires t.channel chan_sess request in
   Queue.add chan_sess c.free;
   Sim.Semaphore.v c.free_sem;
   Machine.charge_one t.host.Host.mach (Machine.Layer_crossing);
@@ -92,6 +92,15 @@ let input t ~lower msg =
       | None -> Stats.incr t.stats "rx-malformed"
       | Some hdr ->
           if hdr.S.typ <> S.typ_request then Stats.incr t.stats "rx-unexpected"
+          else if
+            (* Last call before the procedure's CPU is charged: a
+               request whose propagated deadline lapsed while it queued
+               below us is dropped, and the doomed reply suppressed —
+               the caller has already given up on it. *)
+            match Proto.session_control lower Control.Get_rx_deadline with
+            | Control.R_float e -> e >= 0. && e <= Sim.now (Host.sim t.host)
+            | _ -> false
+          then Stats.incr t.stats "deadline-expired-server"
           else begin
             Stats.tick t.c_handled;
             Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
@@ -116,6 +125,13 @@ let input t ~lower msg =
 
 let serve t =
   Proto.open_enable (Channel.proto t.channel) ~upper:t.p
+    (Part.v ~local:[ Part.Ip_proto t.proto_num ] ())
+
+(* Same enable, but requests surface in [upper] (an admission layer)
+   instead of here; [upper] forwards the survivors with Proto.deliver,
+   which lands in our demux as usual. *)
+let serve_behind t ~upper =
+  Proto.open_enable (Channel.proto t.channel) ~upper
     (Part.v ~local:[ Part.Ip_proto t.proto_num ] ())
 
 let calls_handled t = Stats.get t.stats "handled"

@@ -34,10 +34,12 @@ val connect : t -> server:Xkernel.Addr.Ip.t -> client
     "caching open sessions at all three levels". *)
 
 val call :
-  client -> command:int -> Xkernel.Msg.t ->
+  client -> ?expires:float -> command:int -> Xkernel.Msg.t ->
   (Xkernel.Msg.t, Rpc_error.t) result
 (** Allocate a free channel (blocking the calling fiber if all are in
-    use), run the transaction, release the channel. *)
+    use), run the transaction, release the channel.  [expires] threads
+    the caller's absolute deadline down to {!Channel.call} for wire
+    propagation. *)
 
 val free_channels : client -> int
 
@@ -51,6 +53,14 @@ val register : t -> command:int -> handler -> unit
 
 val serve : t -> unit
 (** Passively enable the stack below; unknown commands are answered
-    with [status_no_command]. *)
+    with [status_no_command].  Requests whose propagated deadline has
+    already lapsed (per the lower session's [Get_rx_deadline]) are
+    dropped before the procedure's CPU is charged and their replies
+    suppressed (["deadline-expired-server"]). *)
+
+val serve_behind : t -> upper:Xkernel.Proto.t -> unit
+(** Like {!serve}, but incoming requests are delivered to [upper] — an
+    admission-control protocol such as {!Admit} — which forwards the
+    admitted ones back down into this server's demux. *)
 
 val calls_handled : t -> int

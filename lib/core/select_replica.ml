@@ -6,13 +6,13 @@ type health = Healthy | Suspect | Dead
 
 type endpoint = {
   ep_addr : Addr.Ip.t;
-  ep_call : command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+  ep_call : ?expires:float -> command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
 }
 
 type replica = {
   r_idx : int;
   r_addr : Addr.Ip.t;
-  r_call : command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
+  r_call : ?expires:float -> command:int -> Msg.t -> (Msg.t, Rpc_error.t) result;
   mutable r_health : health;
   mutable r_probe_fails : int; (* consecutive failed recovery probes *)
   mutable r_probe_armed : bool;
@@ -32,6 +32,13 @@ type t = {
   rng : Random.State.t;
   stats : Stats.t;
   mutable rr : int; (* round-robin cursor *)
+  (* Overload governance (all off by default). *)
+  propagate_deadline : bool;
+  retry_budget : float option; (* tokens earned per call; None = unlimited *)
+  token_cap : float;
+  mutable tokens : float;
+  hedge : bool;
+  h_lat : Histogram.t; (* successful-call latency, for the hedge delay *)
   (* Per-call counters, resolved once at create time (hot path). *)
   c_call : Stats.counter;
   c_ok : Stats.counter;
@@ -43,7 +50,16 @@ type t = {
   c_probe_sent : Stats.counter;
   c_probe_ok : Stats.counter;
   c_late_ok : Stats.counter;
+  c_busy_rx : Stats.counter;
+  c_exhausted : Stats.counter;
+  c_hedge_sent : Stats.counter;
+  c_hedge_win : Stats.counter;
+  c_all_dead : Stats.counter;
 }
+
+(* The hedge delay is the p99 of observed call latencies; with fewer
+   samples than this the estimate is noise and hedging stays off. *)
+let hedge_min_samples = 32
 
 let proto t = t.p
 let replica_count t = Array.length t.replicas
@@ -119,29 +135,73 @@ let mark_suspect t r =
       arm_probe t r ~delay:(probe_delay t 0)
   | Suspect | Dead -> ()
 
+(* Retry-budget token bucket: every call earns a fraction of a token,
+   every failover or hedge spends a whole one, so retries are bounded to
+   roughly [ratio] of the offered load no matter how hard the servers
+   are struggling — the amplification governor. *)
+let earn_token t =
+  match t.retry_budget with
+  | None -> ()
+  | Some ratio -> t.tokens <- Float.min t.token_cap (t.tokens +. ratio)
+
+let take_token t =
+  match t.retry_budget with
+  | None -> true
+  | Some _ ->
+      if t.tokens >= 1. then begin
+        t.tokens <- t.tokens -. 1.;
+        true
+      end
+      else false
+
 (* One bounded attempt against one replica.  The call itself runs in
    its own fiber so the attempt can be abandoned after [budget] without
    waiting out the channel's full RTO ladder; an abandoned call still
    completes in the background, and a late success teaches the health
-   tracker that the replica is alive after all. *)
-let attempt t r ~budget ~command msg =
+   tracker that the replica is alive after all.
+
+   [hedge_to]: optionally race a second replica, launched [hedge_after]
+   seconds in (if the primary has not settled by then, and a retry
+   token is available); the first settlement wins, the loser is
+   absorbed by the late-completion machinery. *)
+let attempt t r ?hedge_to ~budget ~expires ~command msg =
   let sim = Host.sim t.host in
   let iv = Sim.Ivar.create sim in
-  let abandoned = ref false in
-  Sim.spawn sim (fun () ->
-      let res = r.r_call ~command msg in
-      if !abandoned then begin
-        match res with
-        | Ok _ ->
-            Stats.tick t.c_late_ok;
-            mark_healthy t r
-        | Error _ -> ()
-      end
-      else Sim.Ivar.fill iv res);
+  let settled = ref false in
+  let launch r' ~is_hedge =
+    Sim.spawn sim (fun () ->
+        let res = r'.r_call ?expires ~command msg in
+        if !settled then begin
+          match res with
+          | Ok _ ->
+              Stats.tick t.c_late_ok;
+              mark_healthy t r'
+          | Error _ -> ()
+        end
+        else begin
+          settled := true;
+          (match res with
+          | Ok _ ->
+              mark_healthy t r';
+              if is_hedge then Stats.tick t.c_hedge_win
+          | Error _ -> ());
+          Sim.Ivar.fill iv res
+        end)
+  in
+  launch r ~is_hedge:false;
+  (match hedge_to with
+  | Some (rh, hedge_after) ->
+      Sim.spawn sim (fun () ->
+          Sim.delay sim hedge_after;
+          if (not !settled) && take_token t then begin
+            Stats.tick t.c_hedge_sent;
+            launch rh ~is_hedge:true
+          end)
+  | None -> ());
   match Sim.Ivar.read_timeout iv budget with
   | Some res -> res
   | None ->
-      abandoned := true;
+      settled := true;
       Stats.tick t.c_attempt_timeout;
       Error Rpc_error.Timeout
 
@@ -168,59 +228,106 @@ let order t ~key =
   List.init k (fun i -> (start + i) mod k)
   |> List.stable_sort (fun a b -> compare (rank a) (rank b))
 
+let all_dead t =
+  Array.for_all (fun r -> r.r_health = Dead) t.replicas
+
 let call t ?key ~command msg =
   let sim = Host.sim t.host in
   Stats.tick t.c_call;
+  earn_token t;
   Machine.charge_one t.host.Host.mach Machine.Virtual_op;
   Trace.packet sim ~host:t.host.Host.name ~proto:"REPLICA" ~dir:`Send msg;
-  let deadline_at = Sim.now sim +. t.deadline in
-  let max_attempts = min (t.max_failovers + 1) (Array.length t.replicas) in
-  let rec go tried = function
-    | [] -> Error Rpc_error.Timeout
-    | _ when tried >= max_attempts -> Error Rpc_error.Timeout
-    | i :: rest -> (
-        let r = t.replicas.(i) in
-        let remaining = deadline_at -. Sim.now sim in
-        if remaining <= 0. then begin
-          Stats.tick t.c_deadline_expired;
-          Error Rpc_error.Timeout
-        end
-        else begin
-          if tried > 0 then Stats.tick t.c_failover;
-          let budget = Float.min t.attempt_timeout remaining in
-          match attempt t r ~budget ~command msg with
-          | Ok reply ->
-              mark_healthy t r;
-              if tried > 0 then Stats.tick t.c_failover_ok;
-              Ok reply
-          | Error (Rpc_error.Remote _ | Rpc_error.Busy) as e ->
-              (* The replica answered (or merely has no free channel):
-                 not a health failure, and retrying elsewhere could
-                 re-execute a non-idempotent procedure. *)
-              e
-          | Error (Rpc_error.Timeout | Rpc_error.Rebooted) ->
-              Stats.incr t.stats (Printf.sprintf "replica%d-fail" r.r_idx);
-              mark_suspect t r;
-              go (tried + 1) rest
-        end)
-  in
-  let res = go 0 (order t ~key) in
-  (match res with
-  | Ok reply ->
-      Stats.tick t.c_ok;
-      Trace.packet sim ~host:t.host.Host.name ~proto:"REPLICA" ~dir:`Recv
-        reply
-  | Error _ -> Stats.tick t.c_failed);
-  res
+  if all_dead t then begin
+    (* Every replica is dead and probing has stopped: sleeping out the
+       overall deadline would learn nothing.  Fail terminally now. *)
+    Stats.tick t.c_all_dead;
+    Stats.tick t.c_failed;
+    Error Rpc_error.Timeout
+  end
+  else begin
+    let t0 = Sim.now sim in
+    let deadline_at = t0 +. t.deadline in
+    let expires = if t.propagate_deadline then Some deadline_at else None in
+    let max_attempts = min (t.max_failovers + 1) (Array.length t.replicas) in
+    let rec go tried last_err = function
+      | [] -> Error last_err
+      | _ when tried >= max_attempts -> Error last_err
+      | i :: rest -> (
+          let r = t.replicas.(i) in
+          let remaining = deadline_at -. Sim.now sim in
+          if remaining <= 0. then begin
+            Stats.tick t.c_deadline_expired;
+            Error Rpc_error.Timeout
+          end
+          else begin
+            if tried > 0 then Stats.tick t.c_failover;
+            let budget = Float.min t.attempt_timeout remaining in
+            let hedge_to =
+              if
+                t.hedge && tried = 0 && rest <> []
+                && Histogram.count t.h_lat >= hedge_min_samples
+              then
+                let p99 =
+                  float_of_int (Histogram.percentile t.h_lat 99.) *. 1e-6
+                in
+                if p99 > 0. && p99 < budget then
+                  Some (t.replicas.(List.hd rest), p99)
+                else None
+              else None
+            in
+            match attempt t r ?hedge_to ~budget ~expires ~command msg with
+            | Ok reply ->
+                if tried > 0 then Stats.tick t.c_failover_ok;
+                Ok reply
+            | Error Rpc_error.Busy as e ->
+                (* Explicit admission pushback: the server is up and
+                   refusing load.  Not a health failure — a failover
+                   here is exactly the retry storm the budget exists to
+                   prevent. *)
+                Stats.tick t.c_busy_rx;
+                e
+            | Error (Rpc_error.Remote _) as e ->
+                (* The replica answered: retrying elsewhere could
+                   re-execute a non-idempotent procedure. *)
+                e
+            | Error ((Rpc_error.Timeout | Rpc_error.Rebooted) as err) ->
+                Stats.incr t.stats (Printf.sprintf "replica%d-fail" r.r_idx);
+                mark_suspect t r;
+                if rest = [] || tried + 1 >= max_attempts then
+                  go (tried + 1) err rest
+                else if take_token t then go (tried + 1) err rest
+                else begin
+                  (* Out of retry tokens: absorb the failure instead of
+                     amplifying the overload with another attempt. *)
+                  Stats.tick t.c_exhausted;
+                  Error err
+                end
+          end)
+    in
+    let res = go 0 Rpc_error.Timeout (order t ~key) in
+    (match res with
+    | Ok reply ->
+        Stats.tick t.c_ok;
+        Histogram.record t.h_lat
+          (int_of_float ((Sim.now sim -. t0) *. 1e6));
+        Trace.packet sim ~host:t.host.Host.name ~proto:"REPLICA" ~dir:`Recv
+          reply
+    | Error _ -> Stats.tick t.c_failed);
+    res
+  end
 
 let create ~host ?(policy = Round_robin) ?(attempt_timeout = 0.25)
     ?(deadline = 1.0) ?max_failovers ?(probation = 0.1) ?(probe_limit = 3)
-    ?(probe_command = 1) ?(below = []) ~endpoints () =
+    ?(probe_command = 1) ?(propagate_deadline = false) ?retry_budget
+    ?(hedge = false) ?(below = []) ~endpoints () =
   let k = Array.length endpoints in
   if k < 1 then invalid_arg "Select_replica.create: no endpoints";
   if attempt_timeout <= 0. then
     invalid_arg "Select_replica.create: attempt_timeout <= 0";
   if deadline <= 0. then invalid_arg "Select_replica.create: deadline <= 0";
+  (match retry_budget with
+  | Some r when r < 0. -> invalid_arg "Select_replica.create: retry_budget < 0"
+  | _ -> ());
   let max_failovers =
     match max_failovers with
     | Some n when n >= 0 -> n
@@ -255,6 +362,16 @@ let create ~host ?(policy = Round_robin) ?(attempt_timeout = 0.25)
       rng = Sim.rng (Host.sim host);
       stats;
       rr = 0;
+      propagate_deadline;
+      retry_budget;
+      token_cap =
+        (match retry_budget with
+        | Some r -> Float.max 1. (10. *. r)
+        | None -> 0.);
+      tokens =
+        (match retry_budget with Some r -> Float.max 1. (10. *. r) | None -> 0.);
+      hedge;
+      h_lat = Histogram.create ~max_value:100_000_000 ();
       c_call = Stats.counter stats "call";
       c_ok = Stats.counter stats "ok";
       c_failed = Stats.counter stats "failed";
@@ -265,6 +382,11 @@ let create ~host ?(policy = Round_robin) ?(attempt_timeout = 0.25)
       c_probe_sent = Stats.counter stats "probe-sent";
       c_probe_ok = Stats.counter stats "probe-ok";
       c_late_ok = Stats.counter stats "late-ok";
+      c_busy_rx = Stats.counter stats "busy-reject-rx";
+      c_exhausted = Stats.counter stats "retry-budget-exhausted";
+      c_hedge_sent = Stats.counter stats "hedge-sent";
+      c_hedge_win = Stats.counter stats "hedge-win";
+      c_all_dead = Stats.counter stats "all-dead";
     }
   in
   Proto.set_ops p
@@ -285,7 +407,8 @@ let create ~host ?(policy = Round_robin) ?(attempt_timeout = 0.25)
   t
 
 let of_select ~host ~select ~servers ?policy ?attempt_timeout ?deadline
-    ?max_failovers ?probation ?probe_limit ?probe_command () =
+    ?max_failovers ?probation ?probe_limit ?probe_command ?propagate_deadline
+    ?retry_budget ?hedge () =
   let endpoints =
     Array.map
       (fun addr ->
@@ -295,7 +418,7 @@ let of_select ~host ~select ~servers ?policy ?attempt_timeout ?deadline
         {
           ep_addr = addr;
           ep_call =
-            (fun ~command msg ->
+            (fun ?expires ~command msg ->
               let c =
                 match !cl with
                 | Some c -> c
@@ -304,11 +427,11 @@ let of_select ~host ~select ~servers ?policy ?attempt_timeout ?deadline
                     cl := Some c;
                     c
               in
-              Select.call c ~command msg);
+              Select.call c ?expires ~command msg);
         })
       servers
   in
   create ~host ?policy ?attempt_timeout ?deadline ?max_failovers ?probation
-    ?probe_limit ?probe_command
+    ?probe_limit ?probe_command ?propagate_deadline ?retry_budget ?hedge
     ~below:[ Select.proto select ]
     ~endpoints ()

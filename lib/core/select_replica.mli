@@ -24,6 +24,28 @@
 
     The whole call is bounded by [deadline]; when it expires the call
     fails with [Timeout] and the ["deadline-expired"] counter ticks.
+    When {e every} replica is [Dead] (so probing has stopped), [call]
+    fails terminally at once (["all-dead"]) instead of sleeping out the
+    deadline against replicas known to be gone.
+
+    Overload governance, all off by default:
+
+    - [propagate_deadline] stamps the call's absolute deadline into each
+      attempt ([?expires] on the endpoint), so the CHANNEL layer carries
+      the remaining budget on the wire and the server can shed expired
+      work.
+    - [retry_budget] is a token bucket: each call earns [ratio] tokens
+      (capped at [max 1 (10 * ratio)]), each failover or hedge spends
+      one.  An exhausted bucket absorbs the failure
+      (["retry-budget-exhausted"]) rather than amplifying the overload.
+      An [Error Busy] — the server's explicit admission pushback —
+      never fails over (["busy-reject-rx"]): it is backoff pressure,
+      not a death certificate, so no failover storm.
+    - [hedge] arms a second attempt against the next candidate after
+      the observed p99 call latency (from an internal HDR histogram;
+      needs 32 successful samples), cancelled on first settlement
+      (["hedge-sent"] / ["hedge-win"]); hedges spend retry tokens too.
+
     Counters (["failovers"], ["failover-ok"], ["probe-sent"],
     ["probe-ok"], ["attempt-timeout"], per-replica ["replicaN-*"]) and
     gauges (["replica-suspect"], ["replica-dead"]) live in the
@@ -40,10 +62,15 @@ type health = Healthy | Suspect | Dead
 type endpoint = {
   ep_addr : Xkernel.Addr.Ip.t;
   ep_call :
-    command:int -> Xkernel.Msg.t -> (Xkernel.Msg.t, Rpc_error.t) result;
+    ?expires:float ->
+    command:int ->
+    Xkernel.Msg.t ->
+    (Xkernel.Msg.t, Rpc_error.t) result;
 }
 (** One replica binding: its address plus a blocking call function
-    (whatever stack the replica is reached through). *)
+    (whatever stack the replica is reached through).  [expires] is the
+    caller's absolute deadline, passed when [propagate_deadline] is
+    set. *)
 
 val create :
   host:Xkernel.Host.t ->
@@ -54,6 +81,9 @@ val create :
   ?probation:float ->
   ?probe_limit:int ->
   ?probe_command:int ->
+  ?propagate_deadline:bool ->
+  ?retry_budget:float ->
+  ?hedge:bool ->
   ?below:Xkernel.Proto.t list ->
   endpoints:endpoint array ->
   unit ->
@@ -78,6 +108,9 @@ val of_select :
   ?probation:float ->
   ?probe_limit:int ->
   ?probe_command:int ->
+  ?propagate_deadline:bool ->
+  ?retry_budget:float ->
+  ?hedge:bool ->
   unit ->
   t
 (** [of_select ~host ~select ~servers ()] fronts one {!Select} client

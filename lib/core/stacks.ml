@@ -204,16 +204,40 @@ type fanout_stack = {
   fos_clients : Host.t array;
   fos_servers : Host.t array;
   fos_replicas : Select_replica.t array;
+  fos_selects : Select.t array;
+  fos_admits : Admit.t array;
 }
 
 let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
-    ?deadline ?max_failovers ?probation ?probe_limit (f : World.fanout) =
-  Array.iter
-    (fun (n : World.node) ->
-      let _, _, sel_s = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
-      standard_handlers (Select.register sel_s);
-      Select.serve sel_s)
-    f.World.servers;
+    ?deadline ?max_failovers ?probation ?probe_limit ?admit
+    ?propagate_deadline ?retry_budget ?hedge (f : World.fanout) =
+  let selects =
+    Array.map
+      (fun (n : World.node) ->
+        let _, _, sel_s = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
+        standard_handlers (Select.register sel_s);
+        sel_s)
+      f.World.servers
+  in
+  let admits =
+    match admit with
+    | None ->
+        Array.iter Select.serve selects;
+        [||]
+    | Some config ->
+        (* Slot the admission layer between CHANNEL and SELECT on every
+           server: requests surface in ADMIT's queue, survivors are
+           forwarded into the SELECT server. *)
+        Array.map2
+          (fun (n : World.node) sel_s ->
+            let adm =
+              Admit.create ~host:n.World.host ~upper:(Select.proto sel_s)
+                ~config ()
+            in
+            Select.serve_behind sel_s ~upper:(Admit.proto adm);
+            adm)
+          f.World.servers selects
+  in
   let server_ips =
     Array.map (fun (n : World.node) -> n.World.host.Host.ip) f.World.servers
   in
@@ -223,7 +247,7 @@ let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
         let _, _, sel_c = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
         Select_replica.of_select ~host:n.World.host ~select:sel_c
           ~servers:server_ips ?policy ?attempt_timeout ?deadline ?max_failovers
-          ?probation ?probe_limit ())
+          ?probation ?probe_limit ?propagate_deadline ?retry_budget ?hedge ())
       f.World.fo_clients
   in
   {
@@ -236,6 +260,8 @@ let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
     fos_servers =
       Array.map (fun (n : World.node) -> n.World.host) f.World.servers;
     fos_replicas = replicas;
+    fos_selects = selects;
+    fos_admits = admits;
   }
 
 let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
@@ -272,7 +298,7 @@ let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
           {
             Select_replica.ep_addr = server_ip;
             ep_call =
-              (fun ~command msg ->
+              (fun ?expires:_ ~command msg ->
                 let cl =
                   match !client with
                   | Some cl -> cl
@@ -318,6 +344,8 @@ let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
     fos_servers =
       Array.map (fun (n : World.node) -> n.World.host) f.World.servers;
     fos_replicas = replicas;
+    fos_selects = [||];
+    fos_admits = [||];
   }
 
 (* SELECT-CHANNEL-VIPsize, with FRAGMENT moved below VIPsize and

@@ -96,6 +96,13 @@ type fanout_stack = {
   fos_replicas : Select_replica.t array;
       (** One replica map per client host, index-aligned with
           [fos_clients] — for health/failover introspection. *)
+  fos_selects : Select.t array;
+      (** Server-side SELECT instances, index-aligned with
+          [fos_servers] — for registering extra procedures ([[||]] for
+          the monolithic stack, which has no SELECT layer). *)
+  fos_admits : Admit.t array;
+      (** Admission-control layers, index-aligned with [fos_servers];
+          [[||]] unless built with [?admit]. *)
 }
 
 val lrpc_fanout :
@@ -108,11 +115,20 @@ val lrpc_fanout :
   ?max_failovers:int ->
   ?probation:float ->
   ?probe_limit:int ->
+  ?admit:Admit.config ->
+  ?propagate_deadline:bool ->
+  ?retry_budget:float ->
+  ?hedge:bool ->
   Netproto.World.fanout ->
   fanout_stack
 (** REPLICA over SELECT-CHANNEL-FRAGMENT-VIP: a full layered client
     stack per client host with one lazily-opened connection per
-    server replica. *)
+    server replica.
+
+    Overload-control knobs, all off by default: [admit] slots an
+    {!Admit} layer between CHANNEL and SELECT on every server;
+    [propagate_deadline] / [retry_budget] / [hedge] configure the
+    client-side governance in {!Select_replica}. *)
 
 val mrpc_fanout :
   ?lower:mono_lower ->

@@ -5,6 +5,7 @@ module Flags = struct
   let reply = 0x2
   let ack = 0x4
   let please_ack = 0x8
+  let deadline = 0x10
 end
 
 let decode_with bytes f s =
@@ -118,18 +119,28 @@ module Channel = struct
     sequence_num : int;
     error : int;
     boot_id : int;
+    deadline_us : int;
   }
 
   let bytes = 18
+  let ext_bytes = 4
+  let err_busy = 0xB5
+  let max_deadline_us = 0xFFFFFFFF
 
   let encode t =
-    let w = Codec.W.create ~size:bytes () in
-    Codec.W.u16 w t.flags;
+    let stamped = t.deadline_us >= 0 in
+    let flags =
+      if stamped then t.flags lor Flags.deadline
+      else t.flags land lnot Flags.deadline
+    in
+    let w = Codec.W.create ~size:(if stamped then bytes + ext_bytes else bytes) () in
+    Codec.W.u16 w flags;
     Codec.W.u16 w t.channel;
     Codec.W.u32 w t.protocol_num;
     Codec.W.u32 w t.sequence_num;
     Codec.W.u16 w t.error;
     Codec.W.u32 w t.boot_id;
+    if stamped then Codec.W.u32 w (min t.deadline_us max_deadline_us);
     Codec.W.contents w
 
   let decode =
@@ -140,7 +151,26 @@ module Channel = struct
         let sequence_num = Codec.R.u32 r in
         let error = Codec.R.u16 r in
         let boot_id = Codec.R.u32 r in
-        { flags; channel; protocol_num; sequence_num; error; boot_id })
+        {
+          flags;
+          channel;
+          protocol_num;
+          sequence_num;
+          error;
+          boot_id;
+          deadline_us = -1;
+        })
+
+  let decode_ext = decode_with ext_bytes (fun r -> Codec.R.u32 r)
+
+  let decode_full s =
+    match decode s with
+    | None -> None
+    | Some hdr ->
+        if hdr.flags land Flags.deadline = 0 then Some hdr
+        else
+          let rest = String.sub s bytes (String.length s - bytes) in
+          Option.map (fun d -> { hdr with deadline_us = d }) (decode_ext rest)
 end
 
 module Fragment = struct

@@ -20,6 +20,11 @@ module Flags : sig
 
   (** set on retransmissions *)
   val please_ack : int
+
+  (** CHANNEL_HDR only: a 4-byte remaining-deadline extension follows
+      the base header (not in the paper; off unless the caller stamps a
+      deadline) *)
+  val deadline : int
 end
 
 module Sprite : sig
@@ -75,13 +80,40 @@ module Channel : sig
     sequence_num : int;
     error : int;
     boot_id : int;
+    deadline_us : int;
+        (** remaining call budget in microseconds at transmit time;
+            [-1] means "no deadline stamped" and keeps the header at its
+            paper-exact 18 bytes.  [encode] sets or clears
+            {!Flags.deadline} itself and appends the extension word only
+            when the field is non-negative, clamped to
+            {!max_deadline_us}. *)
   }
 
   val bytes : int
-  (** 18 *)
+  (** 18 — the base header; unchanged from the paper's appendix *)
+
+  val ext_bytes : int
+  (** 4 — the optional deadline extension word *)
+
+  val err_busy : int
+  (** error code carried in a reply when the server refuses admission *)
+
+  val max_deadline_us : int
+  (** largest encodable remaining deadline (u32) *)
 
   val encode : t -> string
+
   val decode : string -> t option
+  (** base 18-byte header only; [deadline_us] is [-1] in the result even
+      when {!Flags.deadline} is set — callers pop {!ext_bytes} more and
+      use {!decode_ext} (as CHANNEL's input path does) *)
+
+  val decode_ext : string -> int option
+  (** the 4-byte extension word alone *)
+
+  val decode_full : string -> t option
+  (** whole-header convenience for tests: base header plus, when flagged,
+      the extension *)
 end
 
 module Fragment : sig

@@ -30,6 +30,8 @@ type req =
   | Get_free_channels
   | Get_stat of string
   | Flush_cache
+  | Get_rx_deadline
+  | Reject_busy
 
 type reply =
   | R_unit
@@ -41,7 +43,7 @@ type reply =
   | R_string of string
   | Unsupported
 
-let op_count = 30
+let op_count = 32
 
 let shape_failure what reply_name =
   failwith (Printf.sprintf "Control: expected %s, got %s" what reply_name)
@@ -106,6 +108,8 @@ let pp_req fmt req =
     | Get_free_channels -> "Get_free_channels"
     | Get_stat s -> Printf.sprintf "Get_stat(%s)" s
     | Flush_cache -> "Flush_cache"
+    | Get_rx_deadline -> "Get_rx_deadline"
+    | Reject_busy -> "Reject_busy"
   in
   Format.pp_print_string fmt s
 

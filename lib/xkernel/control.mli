@@ -45,6 +45,15 @@ type req =
   | Get_free_channels
   | Get_stat of string  (** named protocol counter *)
   | Flush_cache  (** drop cached sessions / tables *)
+  | Get_rx_deadline
+      (** asked of a server-side session by an admission layer: the
+          absolute sim time at which the current request's propagated
+          deadline expires ([R_float]); [Unsupported] or a negative
+          value when the request carried no deadline *)
+  | Reject_busy
+      (** issued against a server-side session by an admission layer:
+          answer the current request with an explicit busy-pushback
+          error instead of delivering it *)
 
 type reply =
   | R_unit

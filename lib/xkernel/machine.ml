@@ -154,10 +154,11 @@ type t = {
   cpu : Sim.Semaphore.sem;
   mutable prof : profile;
   mutable busy : float;
+  mutable wait : float;
 }
 
 let create m_sim prof =
-  { m_sim; cpu = Sim.Semaphore.create m_sim 1; prof; busy = 0. }
+  { m_sim; cpu = Sim.Semaphore.create m_sim 1; prof; busy = 0.; wait = 0. }
 
 let sim m = m.m_sim
 let profile m = m.prof
@@ -165,7 +166,12 @@ let set_profile m p = m.prof <- p
 
 let charge_cost m total =
   if total > 0. then begin
+    let t0 = Sim.now m.m_sim in
     Sim.Semaphore.p m.cpu;
+    (* Run-queue sojourn: time this charge spent waiting for the CPU,
+       as opposed to using it — the server-side queueing-delay signal
+       overload experiments account against deadlines. *)
+    m.wait <- m.wait +. (Sim.now m.m_sim -. t0);
     Sim.delay m.m_sim total;
     m.busy <- m.busy +. total;
     Sim.Semaphore.v m.cpu
@@ -180,7 +186,12 @@ let charge m ops =
 let charge_one m op = charge_cost m (op_cost m.prof op)
 
 let cpu_seconds m = m.busy
-let reset_cpu_seconds m = m.busy <- 0.
+
+let reset_cpu_seconds m =
+  m.busy <- 0.;
+  m.wait <- 0.
+
+let cpu_wait_seconds m = m.wait
 
 let queue_depth m =
   Sim.Semaphore.waiters m.cpu + (1 - Sim.Semaphore.count m.cpu)

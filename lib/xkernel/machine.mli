@@ -103,6 +103,12 @@ val cpu_seconds : t -> float
     comparisons (sections 4.1, 4.2). *)
 
 val reset_cpu_seconds : t -> unit
+(** Zeroes both {!cpu_seconds} and {!cpu_wait_seconds}. *)
+
+val cpu_wait_seconds : t -> float
+(** Total time fibers spent queued for the CPU before their charges ran
+    — the run-queue sojourn the overload experiments account against
+    propagated deadlines. *)
 
 val queue_depth : t -> int
 (** Fibers currently on this CPU: the holder (if any) plus everyone

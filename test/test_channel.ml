@@ -363,6 +363,8 @@ let uniform_busy_push_dropped () =
   Tutil.check_int "server executed once" 1 !execs;
   Tutil.check_int "drop counted" 1
     (Tutil.stat (Channel.proto ch0) "uniform-busy");
+  Tutil.check_int "charged to the pushing protocol" 1
+    (Stats.get (Proto.stats up) "busy-dropped");
   (* The channel is usable again once the transaction finished. *)
   Tutil.run_in w (fun () -> Proto.push s (Msg.of_string "three"));
   Tutil.check_int "later push succeeds" 2 !replies
@@ -402,6 +404,198 @@ let channel_out_of_range () =
     | exception Alcotest.Test_error -> true
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+(* --- the deadline extension ---------------------------------------------- *)
+
+module C = Rpc.Wire_fmt.Channel
+
+let deadline_header_codec () =
+  let base =
+    {
+      C.flags = Rpc.Wire_fmt.Flags.request;
+      channel = 3;
+      protocol_num = proto_num;
+      sequence_num = 7;
+      error = 0;
+      boot_id = 42;
+      deadline_us = -1;
+    }
+  in
+  (* Unstamped: the paper-exact 18 bytes, flag clear, [-1] back out. *)
+  let s = C.encode base in
+  Tutil.check_int "base length" C.bytes (String.length s);
+  (match C.decode_full s with
+  | Some h ->
+      Tutil.check_int "absent decodes -1" (-1) h.C.deadline_us;
+      Tutil.check_int "flag clear" 0 (h.C.flags land Rpc.Wire_fmt.Flags.deadline)
+  | None -> Alcotest.fail "decode_full failed on base header");
+  (* Stamped: round-trips, including the zero (arrived-expired) and
+     near-zero remaining budgets. *)
+  List.iter
+    (fun d ->
+      let s = C.encode { base with C.deadline_us = d } in
+      Tutil.check_int "stamped length" (C.bytes + C.ext_bytes) (String.length s);
+      match C.decode_full s with
+      | Some h ->
+          Tutil.check_int (Printf.sprintf "round trip %d" d) d h.C.deadline_us;
+          Tutil.check_bool "flag set" true
+            (h.C.flags land Rpc.Wire_fmt.Flags.deadline <> 0)
+      | None -> Alcotest.fail "decode_full failed on stamped header")
+    [ 0; 1; 12345; C.max_deadline_us ];
+  (* Oversized budgets clamp to the largest encodable word. *)
+  (match C.decode_full (C.encode { base with C.deadline_us = C.max_deadline_us + 5 }) with
+  | Some h -> Tutil.check_int "clamped" C.max_deadline_us h.C.deadline_us
+  | None -> Alcotest.fail "decode_full failed on clamped header");
+  (* The two-stage path CHANNEL's input uses: the base decoder leaves
+     [-1] even when flagged; the extension word is popped separately. *)
+  let s = C.encode { base with C.deadline_us = 99 } in
+  (match C.decode (String.sub s 0 C.bytes) with
+  | Some h -> Tutil.check_int "base decode sees -1" (-1) h.C.deadline_us
+  | None -> Alcotest.fail "base decode failed");
+  match C.decode_ext (String.sub s C.bytes C.ext_bytes) with
+  | Some d -> Tutil.check_int "extension word" 99 d
+  | None -> Alcotest.fail "decode_ext failed"
+
+(* Like [setup], but the server records the reconstructed absolute
+   deadline ([Get_rx_deadline]) of every request it executes. *)
+let deadline_setup ?adaptive w =
+  let n0 = World.node w 0 and n1 = World.node w 1 in
+  let mk (n : World.node) =
+    let f =
+      Fragment.create ~host:n.World.host
+        ~lower:(Netproto.Vip.proto n.World.vip) ()
+    in
+    Channel.create ~host:n.World.host ~lower:(Fragment.proto f) ?adaptive ()
+  in
+  let ch0 = mk n0 and ch1 = mk n1 in
+  let rx = ref [] in
+  let execs = ref 0 in
+  let up = Proto.create ~host:n1.World.host ~name:"ECHO" () in
+  Proto.set_ops up
+    {
+      Proto.open_ = (fun ~upper:_ _ -> invalid_arg "echo");
+      open_enable = (fun ~upper:_ _ -> invalid_arg "echo");
+      open_done = (fun ~upper:_ _ -> invalid_arg "echo");
+      demux =
+        (fun ~lower msg ->
+          incr execs;
+          (match Proto.session_control lower Control.Get_rx_deadline with
+          | Control.R_float e -> rx := e :: !rx
+          | _ -> ());
+          Proto.push lower msg);
+      p_control = (fun _ -> Control.Unsupported);
+    };
+  Proto.open_enable (Channel.proto ch1) ~upper:up
+    (Part.v ~local:[ Part.Ip_proto proto_num ] ());
+  let sess =
+    Tutil.run_in w (fun () ->
+        Proto.open_ (Channel.proto ch0)
+          ~upper:(Proto.create ~host:n0.World.host ~name:"NULL" ())
+          (Part.v
+             ~local:
+               [
+                 Part.Ip n0.World.host.Host.ip;
+                 Part.Ip_proto proto_num;
+                 Part.Channel 0;
+               ]
+             ~remotes:
+               [ [ Part.Ip n1.World.host.Host.ip; Part.Ip_proto proto_num ] ]
+             ()))
+  in
+  (ch0, ch1, sess, execs, rx)
+
+let deadline_stamp_received () =
+  let w = World.create () in
+  let ch0, _, s, _, rx = deadline_setup w in
+  ignore (Tutil.ok_exn "plain" (call w ch0 s (Msg.of_string "a")));
+  Alcotest.(check (list (float 1e-9))) "no deadline propagated" [ -1. ] !rx;
+  let expiry = ref 0. in
+  Tutil.run_in w (fun () ->
+      let e = Sim.now w.World.sim +. 0.1 in
+      expiry := e;
+      ignore
+        (Tutil.ok_exn "stamped"
+           (Channel.call ~expires:e ch0 s (Msg.of_string "b"))));
+  match !rx with
+  | [ got; _ ] ->
+      (* remaining-at-transmit plus decode time lands the reconstruction
+         on the caller's absolute deadline, give or take the transit. *)
+      Alcotest.(check bool) "server rebuilt the absolute expiry" true
+        (got > 0. && Float.abs (got -. !expiry) < 0.005)
+  | _ -> Alcotest.fail "expected two executed requests"
+
+let retransmit_carries_decremented_deadline () =
+  (* Fixed step-function RTO (20 ms) so a replayed first-transmission
+     stamp would shift the server's reconstruction by a clear 20 ms. *)
+  let w = World.create () in
+  let ch0, _, s, _, rx = deadline_setup ~adaptive:false w in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  rx := [];
+  let dropped = ref false in
+  Wire.set_fault_hook w.World.wire
+    (Some
+       (fun _ _ ->
+         if !dropped then []
+         else begin
+           dropped := true;
+           [ Wire.Drop ]
+         end));
+  let expiry = ref 0. in
+  Tutil.run_in w (fun () ->
+      let e = Sim.now w.World.sim +. 0.5 in
+      expiry := e;
+      ignore
+        (Tutil.ok_exn "retried"
+           (Channel.call ~expires:e ch0 s (Msg.of_string "r"))));
+  Tutil.check_int "one retransmission" 1
+    (Tutil.stat (Channel.proto ch0) "retransmit");
+  match !rx with
+  | [ got ] ->
+      (* The retransmit restamped the budget remaining at *its* transmit
+         time: the reconstruction still lands on the caller's absolute
+         deadline.  A replayed original stamp would land one RTO late. *)
+      Alcotest.(check bool) "retransmit restamped the remaining budget" true
+        (Float.abs (got -. !expiry) < 0.01)
+  | _ -> Alcotest.fail "expected exactly one executed request"
+
+let deadline_gives_up () =
+  let w = World.create () in
+  let ch0, _, s, _, _ = deadline_setup ~adaptive:false w in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  Wire.set_fault_hook w.World.wire (Some (fun _ _ -> [ Wire.Drop ]));
+  let elapsed = ref 0. in
+  let res =
+    Tutil.run_in w (fun () ->
+        let t0 = Sim.now w.World.sim in
+        let r = Channel.call ~expires:(t0 +. 0.05) ch0 s (Msg.of_string "x") in
+        elapsed := Sim.now w.World.sim -. t0;
+        r)
+  in
+  Alcotest.(check bool) "times out" true (res = Error Rpc.Rpc_error.Timeout);
+  Tutil.check_int "gave up at the deadline" 1
+    (Tutil.stat (Channel.proto ch0) "deadline-give-up");
+  (* Two 20 ms RTO fires land inside the 50 ms budget; the third gives
+     up instead of walking the rest of the five-retry ladder. *)
+  Tutil.check_int "stopped retransmitting" 2
+    (Tutil.stat (Channel.proto ch0) "retransmit");
+  Alcotest.(check bool) "returned promptly" true (!elapsed < 0.1)
+
+let server_drops_expired_request () =
+  let w = World.create () in
+  let ch0, ch1, s, execs, _ = deadline_setup w in
+  ignore (Tutil.ok_exn "warm" (call w ch0 s (Msg.of_string "w")));
+  let res =
+    Tutil.run_in w (fun () ->
+        Channel.call
+          ~expires:(Sim.now w.World.sim)
+          ch0 s
+          (Msg.of_string "late"))
+  in
+  Alcotest.(check bool) "caller times out" true
+    (res = Error Rpc.Rpc_error.Timeout);
+  Tutil.check_int "procedure never ran" 1 !execs;
+  Alcotest.(check bool) "server counted the expired arrival" true
+    (Tutil.stat (Channel.proto ch1) "deadline-expired-server" >= 1)
 
 let () =
   Alcotest.run "channel"
@@ -445,5 +639,18 @@ let () =
           Alcotest.test_case "step-function timeout" `Quick
             multi_fragment_timeout_is_longer;
           Alcotest.test_case "server reboot detected" `Quick reboot_detected;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "header codec round-trips" `Quick
+            deadline_header_codec;
+          Alcotest.test_case "server rebuilds the expiry" `Quick
+            deadline_stamp_received;
+          Alcotest.test_case "retransmit restamps remaining" `Quick
+            retransmit_carries_decremented_deadline;
+          Alcotest.test_case "client gives up at the deadline" `Quick
+            deadline_gives_up;
+          Alcotest.test_case "expired arrival dropped server-side" `Quick
+            server_drops_expired_request;
         ] );
     ]

@@ -24,7 +24,7 @@ let scripted w ?policy ?attempt_timeout ?deadline ?max_failovers ?probation
         {
           Select_replica.ep_addr = Addr.Ip.v 10 9 9 (i + 1);
           ep_call =
-            (fun ~command msg ->
+            (fun ?expires:_ ~command msg ->
               hits.(i) <- hits.(i) + 1;
               match behave i ~command with
               | Reply -> Ok msg
