@@ -292,6 +292,7 @@ let () =
       ("loss_sweep", E.loss_sweep ());
       ("capacity", E.capacity ());
       ("failover", E.failover ());
+      ("rebalance", E.rebalance ());
       ("overload", E.overload ());
       ( "harness",
         harness

@@ -23,6 +23,9 @@ type cap_opts = {
   cap_servers : int option;
   cap_controls : string list option;
   cap_spike : float option;
+  cap_seed : int option;
+  cap_shards : int option;
+  cap_modes : string list option;
 }
 
 let experiments cap =
@@ -53,7 +56,18 @@ let experiments cap =
             (match cap.cap_rates with
             | Some (r :: _) -> Some r
             | _ -> None)
-          ?arrivals:cap.cap_arrivals ?window:cap.cap_window () );
+          ?arrivals:cap.cap_arrivals ?window:cap.cap_window ?seed:cap.cap_seed
+          () );
+    ( "rebalance",
+      fun () ->
+        E.rebalance ?servers:cap.cap_servers ?clients:cap.cap_clients
+          ?shards:cap.cap_shards
+          ?rate:
+            (match cap.cap_rates with
+            | Some (r :: _) -> Some r
+            | _ -> None)
+          ?arrivals:cap.cap_arrivals ?window:cap.cap_window ?seed:cap.cap_seed
+          ?modes:cap.cap_modes () );
     ( "overload",
       fun () ->
         E.overload ?servers:cap.cap_servers ?clients:cap.cap_clients
@@ -305,8 +319,31 @@ let cap_opts_term =
             "Overload sweep: add a delay spike of $(docv) seconds over the \
              middle half of each step")
   in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "exp-seed" ] ~docv:"SEED"
+          ~doc:"Failover/rebalance experiments: world seed")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Rebalance experiment: virtual shards in the map")
+  in
+  let modes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "modes" ] ~docv:"M1,M2"
+          ~doc:
+            "Rebalance experiment: modes to run (static, crash-rebalance, \
+             skew-rebalance)")
+  in
   let assemble stacks rates arrivals clients window conc servers controls spike
-      =
+      seed shards modes =
     {
       cap_stacks = Option.map (fun s -> String.split_on_char ',' s) stacks;
       cap_rates =
@@ -318,11 +355,14 @@ let cap_opts_term =
       cap_servers = servers;
       cap_controls = Option.map (fun s -> String.split_on_char ',' s) controls;
       cap_spike = spike;
+      cap_seed = seed;
+      cap_shards = shards;
+      cap_modes = Option.map (fun s -> String.split_on_char ',' s) modes;
     }
   in
   Term.(
     const assemble $ stacks $ rates $ arrivals $ clients $ window $ conc
-    $ servers $ controls $ spike)
+    $ servers $ controls $ spike $ seed $ shards $ modes)
 
 let exp_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in

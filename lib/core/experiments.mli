@@ -78,6 +78,7 @@ val failover :
   ?rate:float ->
   ?arrivals:int ->
   ?window:int ->
+  ?seed:int ->
   unit ->
   Xkernel.Json.t
 (** Crash-availability over replicated servers: [clients] client hosts
@@ -90,9 +91,53 @@ val failover :
     share.  Prints per-phase goodput (pre-crash / outage / healed) and
     the tail-latency summary; returns one row with [table =
     "failover"] carrying the phase goodputs, [failovers], probe
-    counts, shed counts (total and after heal) and the latency
-    histogram.  Deterministic for a fixed parameter set (default world
-    seed; uniform arrivals).  Resets the {!Xkernel.Stats} registry. *)
+    counts, shed counts (total and after heal), the world [seed], the
+    final client [map_version] (0 — no shard map here) and the latency
+    histogram.  Deterministic for a fixed parameter set ([seed],
+    default 42; uniform arrivals).  Resets the {!Xkernel.Stats}
+    registry. *)
+
+val rebalance_modes : string list
+(** The three policies the rebalance experiment compares: ["static"]
+    (shard map installed, never updated), ["crash-rebalance"] (crash
+    chaos plus the crash policy) and ["skew-rebalance"] (hot-shard
+    arrivals plus the skew policy). *)
+
+val rebalance :
+  ?servers:int ->
+  ?clients:int ->
+  ?shards:int ->
+  ?rate:float ->
+  ?arrivals:int ->
+  ?window:int ->
+  ?seed:int ->
+  ?modes:string list ->
+  unit ->
+  Xkernel.Json.t
+(** Dynamic shard map under chaos: [clients] clients route [shards]
+    virtual shards over [servers] L.RPC replicas by the installed
+    {!Shard_map} (open loop, uniform arrivals at [rate] calls/s,
+    [arrivals] arrivals per mode).  30% in, crash modes lose replica 0
+    for the rest of the run (crash + partition); the skew mode instead
+    redirects every second arrival at one hot shard.  Each mode runs
+    in a fresh world seeded with [seed] and resets the
+    {!Xkernel.Stats} registry, so rows are deterministic and
+    independent.
+
+    Goodput survives the crash in every mode — the REPLICA health
+    machinery below the map routes around the dead owner — so the
+    map's value shows in affinity: the static map serves every
+    orphaned-shard call at a non-owner forever ([foreign_shard_rx]
+    keeps climbing), while the rebalanced map converges ownership
+    back.
+
+    Rows use [table = "rebalance"] and carry per-phase goodput
+    (pre / dip / healed, with the dip a fixed 250 ms from the fault),
+    per-phase p99/p99.9, [moved_shards], the control plane's reaction
+    time ([t_rebalance_ms], -1 when no map change was observed),
+    wrong-shard, foreign-shard and forced-handoff counts, the final
+    client [map_version], [seed] and [lost_calls] — which must be 0:
+    every arrival is completed, failed or shed. *)
 
 val overload_controls : string list
 (** The four control stacks the overload sweep compares, weakest

@@ -1,9 +1,10 @@
-type t = Timeout | Rebooted | Busy | Remote of int
+type t = Timeout | Rebooted | Busy | Wrong_shard of int | Remote of int
 
 let to_string = function
   | Timeout -> "timeout"
   | Rebooted -> "server rebooted"
   | Busy -> "channel busy"
+  | Wrong_shard v -> Printf.sprintf "wrong shard (map version %d)" v
   | Remote s -> Printf.sprintf "remote status %d" s
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -8,6 +8,12 @@ type t =
   | Busy
       (** a transaction is already outstanding on this channel; the
           call was rejected without transmitting anything *)
+  | Wrong_shard of int
+      (** the server answered but no longer owns the request's shard
+          under its installed map (whose version is carried here), or a
+          map install forced an in-flight attempt to hand off; the
+          request was not executed — refresh the map and retry the new
+          owner *)
   | Remote of int  (** server-reported status (e.g. unknown command) *)
 
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,10 @@ type t = {
   p : Proto.t;
   handlers : (int, handler) Hashtbl.t;
   stats : Stats.t;
+  (* Sharding (off unless [enable_sharding] is called): which replica
+     index this server is, and the shard map it last installed. *)
+  mutable shard_self : int option;
+  mutable shard_map : Shard_map.t option;
   (* Per-call counters, resolved once at create time (hot path). *)
   c_call : Stats.counter;
   c_handled : Stats.counter;
@@ -45,7 +49,7 @@ let connect t ~server =
 
 let free_channels c = Queue.length c.free
 
-let call c ?expires ~command msg =
+let call c ?expires ?shard ~command msg =
   let t = c.c_t in
   (* Choose one of the existing channels; block if none is available. *)
   Sim.Semaphore.p c.free_sem;
@@ -53,10 +57,19 @@ let call c ?expires ~command msg =
   Stats.tick t.c_call;
   Machine.charge t.host.Host.mach
     [ Machine.Semaphore_op; Machine.Layer_crossing; Machine.Header S.bytes ];
-  let hdr =
-    S.encode { S.typ = S.typ_request; command; status = S.status_ok }
+  let typ =
+    match shard with None -> S.typ_request | Some _ -> S.typ_request_sharded
   in
-  let request = Msg.push msg hdr in
+  let hdr = S.encode { S.typ; command; status = S.status_ok } in
+  let request =
+    match shard with
+    | None -> Msg.push msg hdr
+    | Some stamp ->
+        (* Shard-routed: the stamp rides between header and body so an
+           ex-owner can answer wrong-shard instead of executing. *)
+        Machine.charge_one t.host.Host.mach (Machine.Header S.stamp_bytes);
+        Msg.push (Msg.push msg (S.encode_stamp stamp)) hdr
+  in
   Trace.packet (Host.sim t.host) ~host:t.host.Host.name ~proto:"SELECT"
     ~dir:`Send request;
   let result = Channel.call ?expires t.channel chan_sess request in
@@ -74,10 +87,39 @@ let call c ?expires ~command msg =
           | Some { S.typ; status; _ }
             when typ = S.typ_reply && status = S.status_ok ->
               Ok body
+          | Some { S.typ; status; _ }
+            when typ = S.typ_reply && status = S.status_wrong_shard ->
+              (* The server answered but disowned the shard: its newer
+                 map version rides in the body so the caller can refresh
+                 and re-route. *)
+              Error
+                (Rpc_error.Wrong_shard
+                   (Option.value ~default:0
+                      (S.decode_wrong_shard (Msg.to_string body))))
           | Some { S.status; _ } -> Error (Rpc_error.Remote status)
           | None -> Error (Rpc_error.Remote S.status_error)))
 
 let register t ~command handler = Hashtbl.replace t.handlers command handler
+
+(* Ownership check for a shard-stamped request: refuse only when this
+   server's installed map both disowns the shard {e and} is strictly
+   newer than the stamp's generation — a stale client that must refresh.
+   When the stamp is current (or newer than us), serve it even if we are
+   not the owner: the client is failing over around a peer it could not
+   reach, and disagreeing with it here would turn every failover into a
+   livelock. *)
+let reject_shard t = function
+  | None -> None
+  | Some st -> (
+      match (t.shard_self, t.shard_map) with
+      | Some self, Some m
+        when st.S.shard >= 0
+             && st.S.shard < Shard_map.shard_count m
+             && Shard_map.owner m ~shard:st.S.shard <> self
+             && Shard_map.newer_than m ~epoch:st.S.epoch ~version:st.S.version
+        ->
+          Some (Shard_map.version m)
+      | _ -> None)
 
 (* Server: map the command onto a procedure, run it, reply through the
    channel session the request arrived on. *)
@@ -87,11 +129,24 @@ let input t ~lower msg =
     ~dir:`Recv msg;
   match Msg.pop msg S.bytes with
   | None -> Stats.incr t.stats "rx-runt"
-  | Some (raw, body) -> (
+  | Some (raw, rest) -> (
       match S.decode raw with
       | None -> Stats.incr t.stats "rx-malformed"
       | Some hdr ->
-          if hdr.S.typ <> S.typ_request then Stats.incr t.stats "rx-unexpected"
+          let sharded = hdr.S.typ = S.typ_request_sharded in
+          let stamp, body =
+            if sharded then (
+              Machine.charge_one t.host.Host.mach
+                (Machine.Header S.stamp_bytes);
+              match Msg.pop rest S.stamp_bytes with
+              | None -> (None, rest)
+              | Some (sraw, body) -> (S.decode_stamp sraw, body))
+            else (None, rest)
+          in
+          if (not sharded) && hdr.S.typ <> S.typ_request then
+            Stats.incr t.stats "rx-unexpected"
+          else if sharded && stamp = None then
+            Stats.incr t.stats "rx-malformed"
           else if
             (* Last call before the procedure's CPU is charged: a
                request whose propagated deadline lapsed while it queued
@@ -102,15 +157,33 @@ let input t ~lower msg =
             | _ -> false
           then Stats.incr t.stats "deadline-expired-server"
           else begin
-            Stats.tick t.c_handled;
-            Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
             let reply_body, status =
-              match Hashtbl.find_opt t.handlers hdr.S.command with
-              | None -> (Msg.empty, S.status_no_command)
-              | Some h -> (
-                  match h body with
-                  | Ok reply -> (reply, S.status_ok)
-                  | Error s -> (Msg.empty, s))
+              match reject_shard t stamp with
+              | Some version ->
+                  Stats.incr t.stats "wrong-shard-tx";
+                  ( Msg.of_string (S.encode_wrong_shard ~version),
+                    S.status_wrong_shard )
+              | None -> (
+                  (* Accepted but not ours: the caller is failing over
+                     around the owner (or runs a newer map than us).
+                     The counter is the affinity-loss signal — a static
+                     map with a dead owner shows it climbing forever,
+                     a rebalanced one converges back to zero. *)
+                  (match (stamp, t.shard_self, t.shard_map) with
+                  | Some st, Some self, Some m
+                    when st.S.shard >= 0
+                         && st.S.shard < Shard_map.shard_count m
+                         && Shard_map.owner m ~shard:st.S.shard <> self ->
+                      Stats.incr t.stats "foreign-shard-rx"
+                  | _ -> ());
+                  Stats.tick t.c_handled;
+                  Machine.charge_one t.host.Host.mach (Machine.Semaphore_op);
+                  match Hashtbl.find_opt t.handlers hdr.S.command with
+                  | None -> (Msg.empty, S.status_no_command)
+                  | Some h -> (
+                      match h body with
+                      | Ok reply -> (reply, S.status_ok)
+                      | Error s -> (Msg.empty, s)))
             in
             Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);
             let rhdr =
@@ -136,6 +209,41 @@ let serve_behind t ~upper =
 
 let calls_handled t = Stats.get t.stats "handled"
 
+let set_shard_gauges t =
+  match t.shard_map with
+  | None -> ()
+  | Some m -> (
+      Stats.set t.stats "map-version" (Shard_map.version m);
+      match t.shard_self with
+      | Some i ->
+          Stats.set t.stats "shards-owned" (Shard_map.shards_owned m ~replica:i)
+      | None -> ())
+
+let install_shard_map t m =
+  let newer =
+    match t.shard_map with
+    | None -> true
+    | Some cur ->
+        Shard_map.newer_than m ~epoch:(Shard_map.epoch cur)
+          ~version:(Shard_map.version cur)
+  in
+  if newer then begin
+    t.shard_map <- Some m;
+    Stats.incr t.stats "map-update-rx";
+    set_shard_gauges t;
+    Trace.debugf (Host.sim t.host) ~host:t.host.Host.name
+      "SELECT installs shard map v%d" (Shard_map.version m)
+  end;
+  newer
+
+let enable_sharding t ~self =
+  if self < 0 then invalid_arg "Select.enable_sharding: self < 0";
+  t.shard_self <- Some self;
+  set_shard_gauges t
+
+let shard_map_version t =
+  match t.shard_map with None -> 0 | Some m -> Shard_map.version m
+
 let create ~host ~channel ?(proto_num = 90) () =
   let p = Proto.create ~host ~name:"SELECT" () in
   let stats = Proto.stats p in
@@ -147,6 +255,8 @@ let create ~host ~channel ?(proto_num = 90) () =
       p;
       handlers = Hashtbl.create 16;
       stats;
+      shard_self = None;
+      shard_map = None;
       c_call = Stats.counter stats "call";
       c_handled = Stats.counter stats "handled";
     }
@@ -165,6 +275,16 @@ let create ~host ~channel ?(proto_num = 90) () =
              argument plus its own headers; it fragments for itself. *)
           | Control.Get_max_msg_size ->
               Proto.control (Channel.proto t.channel) req
+          | Control.Install_map bytes when t.shard_self <> None -> (
+              (* The MAP control plane lands here: decode, install iff
+                 strictly newer than what we hold. *)
+              match Shard_map.decode bytes with
+              | None -> Control.Unsupported
+              | Some m ->
+                  ignore (install_shard_map t m);
+                  Control.R_unit)
+          | Control.Get_map_version when t.shard_map <> None ->
+              Control.R_int (shard_map_version t)
           | req -> Stats.control t.stats req);
     };
   Proto.declare_below p [ Channel.proto channel ];

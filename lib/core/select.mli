@@ -34,12 +34,19 @@ val connect : t -> server:Xkernel.Addr.Ip.t -> client
     "caching open sessions at all three levels". *)
 
 val call :
-  client -> ?expires:float -> command:int -> Xkernel.Msg.t ->
+  client ->
+  ?expires:float ->
+  ?shard:Wire_fmt.Select.stamp ->
+  command:int ->
+  Xkernel.Msg.t ->
   (Xkernel.Msg.t, Rpc_error.t) result
 (** Allocate a free channel (blocking the calling fiber if all are in
     use), run the transaction, release the channel.  [expires] threads
     the caller's absolute deadline down to {!Channel.call} for wire
-    propagation. *)
+    propagation.  [shard] stamps the request with the virtual shard it
+    was routed by and the routing map's generation; a sharding server
+    that disowns the shard under a strictly newer map answers
+    [Error (Wrong_shard v)] without executing the procedure. *)
 
 val free_channels : client -> int
 
@@ -64,3 +71,24 @@ val serve_behind : t -> upper:Xkernel.Proto.t -> unit
     admitted ones back down into this server's demux. *)
 
 val calls_handled : t -> int
+
+(** {1 Sharding}
+
+    Off by default; nothing below changes any output until
+    {!enable_sharding} is called. *)
+
+val enable_sharding : t -> self:int -> unit
+(** Declare this server to be replica index [self] of a sharded set.
+    From then on the protocol answers [control (Install_map bytes)] by
+    installing any strictly newer {!Shard_map} (counting
+    ["map-update-rx"], exporting ["map-version"] and ["shards-owned"]
+    gauges), and shard-stamped requests for shards it does not own under
+    a map newer than the stamp are refused with [status_wrong_shard]
+    (["wrong-shard-tx"]) instead of executed. *)
+
+val install_shard_map : t -> Shard_map.t -> bool
+(** Direct install (the control path calls this); [false] if not newer
+    than the map already held. *)
+
+val shard_map_version : t -> int
+(** Version of the installed map; 0 when none. *)

@@ -41,7 +41,9 @@ let input t ~lower msg =
             | Ok reply_body -> Msg.push reply_body (reply_hdr S.status_ok)
             | Error (Rpc_error.Remote status) ->
                 Msg.of_string (reply_hdr status)
-            | Error (Rpc_error.Timeout | Rpc_error.Rebooted | Rpc_error.Busy) ->
+            | Error
+                ( Rpc_error.Timeout | Rpc_error.Rebooted | Rpc_error.Busy
+                | Rpc_error.Wrong_shard _ ) ->
                 Msg.of_string (reply_hdr S.status_error)
           in
           Machine.charge_one t.host.Host.mach (Machine.Header S.bytes);

@@ -63,6 +63,7 @@ type endpoint = {
   ep_addr : Xkernel.Addr.Ip.t;
   ep_call :
     ?expires:float ->
+    ?shard:Wire_fmt.Select.stamp ->
     command:int ->
     Xkernel.Msg.t ->
     (Xkernel.Msg.t, Rpc_error.t) result;
@@ -70,7 +71,8 @@ type endpoint = {
 (** One replica binding: its address plus a blocking call function
     (whatever stack the replica is reached through).  [expires] is the
     caller's absolute deadline, passed when [propagate_deadline] is
-    set. *)
+    set; [shard] is the routing stamp attached when a shard map routed
+    the call (endpoints whose stack cannot carry it may ignore it). *)
 
 val create :
   host:Xkernel.Host.t ->
@@ -84,6 +86,10 @@ val create :
   ?propagate_deadline:bool ->
   ?retry_budget:float ->
   ?hedge:bool ->
+  ?probe_timeout:float ->
+  ?dead_retry_interval:float ->
+  ?drain_deadline:float ->
+  ?shard_map:Shard_map.t ->
   ?below:Xkernel.Proto.t list ->
   endpoints:endpoint array ->
   unit ->
@@ -95,7 +101,14 @@ val create :
     [probation] (default 0.1 s) is the base suspect-to-probe delay,
     doubled per failed probe with seeded jitter from the simulator rng;
     [probe_command] (default 1, the null procedure) is the recovery
-    probe; [below] records the protocol graph for [pp_graph]. *)
+    probe; [below] records the protocol graph for [pp_graph].
+
+    [probe_timeout] bounds each recovery probe (default: unbounded, the
+    lower stack's RTO ladder decides); [dead_retry_interval] re-probes
+    [Dead] replicas from the call path every interval (with seeded
+    jitter) so a replica that reboots heals back instead of staying
+    buried; [drain_deadline] bounds graceful handoff (see
+    {!install_map}); [shard_map] pre-installs a routing map. *)
 
 val of_select :
   host:Xkernel.Host.t ->
@@ -111,12 +124,16 @@ val of_select :
   ?propagate_deadline:bool ->
   ?retry_budget:float ->
   ?hedge:bool ->
+  ?probe_timeout:float ->
+  ?dead_retry_interval:float ->
+  ?drain_deadline:float ->
+  ?shard_map:Shard_map.t ->
   unit ->
   t
 (** [of_select ~host ~select ~servers ()] fronts one {!Select} client
     instance with one lazily-opened connection per server address —
     the standard way to build the layer over an L.RPC or M.RPC
-    stack. *)
+    stack.  Shard stamps are threaded down to {!Select.call}. *)
 
 val call :
   t ->
@@ -141,3 +158,36 @@ val failovers : t -> int
 val probes_sent : t -> int
 
 val probes_ok : t -> int
+
+(** {1 Shard-map routing}
+
+    With a {!Shard_map} installed and the [Hash] policy, [?key] picks a
+    virtual shard and the map's owner becomes the preferred replica
+    (ring-walk successors still provide failover).  Each routed request
+    carries a {!Wire_fmt.Select.stamp}; an [Error (Wrong_shard v)]
+    answer — the server routed by a newer map — refreshes the map (via
+    the {!set_refresh} hook) and re-routes once, without marking the
+    replica unhealthy or spending a retry token
+    (["wrong-shard-rx"]). *)
+
+val install_map : t -> Shard_map.t -> bool
+(** Install a strictly newer map ([false] otherwise; ["map-update-rx"],
+    gauge ["map-version"]).  The protocol also accepts maps through
+    [control (Install_map bytes)] — the MAP control plane.  When
+    [drain_deadline] was configured, shard-routed calls in flight
+    toward an owner the new map revoked are allowed that long to finish
+    and are then forced over with [Wrong_shard] (["handoff-forced"]);
+    without it they complete where they are. *)
+
+val map_version : t -> int
+(** Version of the installed map; 0 when none. *)
+
+val current_map : t -> Shard_map.t option
+
+val set_refresh : t -> (unit -> unit) -> unit
+(** Hook invoked on a wrong-shard answer before re-routing — typically
+    a pull of the coordinator's current map into this client. *)
+
+val shard_calls : t -> int array
+(** Per-shard routed-call counts (a copy) — the load signal a
+    rebalancer aggregates. *)

@@ -206,11 +206,44 @@ type fanout_stack = {
   fos_replicas : Select_replica.t array;
   fos_selects : Select.t array;
   fos_admits : Admit.t array;
+  fos_coord : Shard_map.Coordinator.t option;
 }
+
+(* Sharded control plane for a fan-out stack: the coordinator lives on
+   the first client host (it must survive any server crash), every
+   shard-aware protocol gets the initial map installed directly (no
+   startup race) and subscribes for subsequent generations, and each
+   client's wrong-shard refresh hook pulls the coordinator's current
+   map — the client-initiated half of the MAP protocol. *)
+let wire_shards ~host ?map_delay ?map_jitter ~replicas ~selects = function
+  | None -> None
+  | Some m ->
+      let coord =
+        Shard_map.Coordinator.create ~host ?publish_delay:map_delay
+          ?jitter:map_jitter ~map:m ()
+      in
+      Array.iteri
+        (fun i sel ->
+          Select.enable_sharding sel ~self:i;
+          ignore (Select.install_shard_map sel m);
+          Shard_map.Coordinator.subscribe coord (Select.proto sel))
+        selects;
+      Array.iter
+        (fun r ->
+          ignore (Select_replica.install_map r m);
+          Select_replica.set_refresh r (fun () ->
+              ignore
+                (Select_replica.install_map r
+                   (Shard_map.Coordinator.current coord)));
+          Shard_map.Coordinator.subscribe coord (Select_replica.proto r))
+        replicas;
+      Some coord
 
 let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
     ?deadline ?max_failovers ?probation ?probe_limit ?admit
-    ?propagate_deadline ?retry_budget ?hedge (f : World.fanout) =
+    ?propagate_deadline ?retry_budget ?hedge ?probe_timeout
+    ?dead_retry_interval ?drain_deadline ?shard_map ?map_delay ?map_jitter
+    (f : World.fanout) =
   let selects =
     Array.map
       (fun (n : World.node) ->
@@ -247,8 +280,13 @@ let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
         let _, _, sel_c = lrpc_node ?adaptive ?rto_load_floor ?n_channels n in
         Select_replica.of_select ~host:n.World.host ~select:sel_c
           ~servers:server_ips ?policy ?attempt_timeout ?deadline ?max_failovers
-          ?probation ?probe_limit ?propagate_deadline ?retry_budget ?hedge ())
+          ?probation ?probe_limit ?propagate_deadline ?retry_budget ?hedge
+          ?probe_timeout ?dead_retry_interval ?drain_deadline ())
       f.World.fo_clients
+  in
+  let coord =
+    wire_shards ~host:f.World.fo_clients.(0).World.host ?map_delay ?map_jitter
+      ~replicas ~selects shard_map
   in
   {
     fos_name = "L.RPC-VIP-REPLICA";
@@ -262,10 +300,12 @@ let lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
     fos_replicas = replicas;
     fos_selects = selects;
     fos_admits = admits;
+    fos_coord = coord;
   }
 
 let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
-    ?max_failovers ?probation ?probe_limit (f : World.fanout) =
+    ?max_failovers ?probation ?probe_limit ?probe_timeout ?dead_retry_interval
+    ?drain_deadline ?shard_map ?map_delay ?map_jitter (f : World.fanout) =
   let proto_num = 91 in
   let lower_name, lower_of =
     match lower with
@@ -298,7 +338,9 @@ let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
           {
             Select_replica.ep_addr = server_ip;
             ep_call =
-              (fun ?expires:_ ~command msg ->
+              (* The monolithic stack cannot carry a shard stamp; the
+                 routing map still steers which replica is called. *)
+              (fun ?expires:_ ?shard:_ ~command msg ->
                 let cl =
                   match !client with
                   | Some cl -> cl
@@ -330,10 +372,15 @@ let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
         f.World.servers
     in
     Select_replica.create ~host:n.World.host ?policy ?attempt_timeout ?deadline
-      ?max_failovers ?probation ?probe_limit
+      ?max_failovers ?probation ?probe_limit ?probe_timeout
+      ?dead_retry_interval ?drain_deadline
       ~below:[ Sprite_mono.proto m_c ] ~endpoints ()
   in
   let replicas = Array.map mk_client f.World.fo_clients in
+  let coord =
+    wire_shards ~host:f.World.fo_clients.(0).World.host ?map_delay ?map_jitter
+      ~replicas ~selects:[||] shard_map
+  in
   {
     fos_name = "M.RPC-" ^ lower_name ^ "-REPLICA";
     fos_call =
@@ -346,6 +393,7 @@ let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
     fos_replicas = replicas;
     fos_selects = [||];
     fos_admits = [||];
+    fos_coord = coord;
   }
 
 (* SELECT-CHANNEL-VIPsize, with FRAGMENT moved below VIPsize and

@@ -103,6 +103,13 @@ type fanout_stack = {
   fos_admits : Admit.t array;
       (** Admission-control layers, index-aligned with [fos_servers];
           [[||]] unless built with [?admit]. *)
+  fos_coord : Shard_map.Coordinator.t option;
+      (** The MAP coordinator (on [fos_clients.(0)]'s host), present
+          when built with [?shard_map].  Every replica map — and, on
+          the layered stack, every server SELECT — has the initial map
+          installed and is subscribed for later generations; each
+          client's wrong-shard refresh hook pulls the coordinator's
+          current map. *)
 }
 
 val lrpc_fanout :
@@ -119,6 +126,12 @@ val lrpc_fanout :
   ?propagate_deadline:bool ->
   ?retry_budget:float ->
   ?hedge:bool ->
+  ?probe_timeout:float ->
+  ?dead_retry_interval:float ->
+  ?drain_deadline:float ->
+  ?shard_map:Shard_map.t ->
+  ?map_delay:float ->
+  ?map_jitter:float ->
   Netproto.World.fanout ->
   fanout_stack
 (** REPLICA over SELECT-CHANNEL-FRAGMENT-VIP: a full layered client
@@ -128,7 +141,14 @@ val lrpc_fanout :
     Overload-control knobs, all off by default: [admit] slots an
     {!Admit} layer between CHANNEL and SELECT on every server;
     [propagate_deadline] / [retry_budget] / [hedge] configure the
-    client-side governance in {!Select_replica}. *)
+    client-side governance in {!Select_replica}.
+
+    Sharding knobs, also all off by default: [shard_map] installs the
+    map everywhere, enables server-side ownership checks and stands up
+    the MAP coordinator ([fos_coord]); [drain_deadline] /
+    [probe_timeout] / [dead_retry_interval] configure
+    {!Select_replica}; [map_delay] / [map_jitter] shape MAP push
+    delivery. *)
 
 val mrpc_fanout :
   ?lower:mono_lower ->
@@ -139,10 +159,19 @@ val mrpc_fanout :
   ?max_failovers:int ->
   ?probation:float ->
   ?probe_limit:int ->
+  ?probe_timeout:float ->
+  ?dead_retry_interval:float ->
+  ?drain_deadline:float ->
+  ?shard_map:Shard_map.t ->
+  ?map_delay:float ->
+  ?map_jitter:float ->
   Netproto.World.fanout ->
   fanout_stack
 (** REPLICA over monolithic Sprite RPC (default lower [L_vip]), one
-    client instance per host fanned out to K server instances. *)
+    client instance per host fanned out to K server instances.  The
+    monolithic wire cannot carry shard stamps, so with [?shard_map]
+    the map steers client-side routing (and the coordinator still
+    distributes updates) but servers never answer wrong-shard. *)
 
 val lrpc_vip_size : Netproto.World.t -> endpoints
 (** SELECT-CHANNEL-VIPsize with FRAGMENT below VIPsize and VIPaddr at

@@ -92,9 +92,11 @@ module Select = struct
   let bytes = 4
   let typ_request = 1
   let typ_reply = 2
+  let typ_request_sharded = 3
   let status_ok = 0
   let status_no_command = 1
   let status_error = 2
+  let status_wrong_shard = 3
 
   let encode t =
     let w = Codec.W.create ~size:bytes () in
@@ -109,6 +111,36 @@ module Select = struct
         let command = Codec.R.u16 r in
         let status = Codec.R.u8 r in
         { typ; command; status })
+
+  (* Shard-stamped requests ([typ_request_sharded]) carry this extension
+     between the 4-byte header and the body: which virtual shard the
+     caller routed by, and under which map generation.  An ex-owner uses
+     it to answer [status_wrong_shard] (body: its map version, u32)
+     instead of executing a stale-routed procedure. *)
+  type stamp = { shard : int; epoch : int; version : int }
+
+  let stamp_bytes = 10
+
+  let encode_stamp s =
+    let w = Codec.W.create ~size:stamp_bytes () in
+    Codec.W.u16 w s.shard;
+    Codec.W.u32 w s.epoch;
+    Codec.W.u32 w s.version;
+    Codec.W.contents w
+
+  let decode_stamp =
+    decode_with stamp_bytes (fun r ->
+        let shard = Codec.R.u16 r in
+        let epoch = Codec.R.u32 r in
+        let version = Codec.R.u32 r in
+        { shard; epoch; version })
+
+  let encode_wrong_shard ~version =
+    let w = Codec.W.create ~size:4 () in
+    Codec.W.u32 w version;
+    Codec.W.contents w
+
+  let decode_wrong_shard = decode_with 4 (fun r -> Codec.R.u32 r)
 end
 
 module Channel = struct
@@ -171,6 +203,58 @@ module Channel = struct
         else
           let rest = String.sub s bytes (String.length s - bytes) in
           Option.map (fun d -> { hdr with deadline_us = d }) (decode_ext rest)
+end
+
+(* MAP: the shard-map control-plane message.  A coordinator encodes its
+   whole assignment (S virtual shards -> K replica indices) with its
+   generation stamp; receivers install it iff (epoch, version) is newer
+   than what they hold.  Small by construction: one byte per shard. *)
+module Map = struct
+  type t = {
+    epoch : int;
+    version : int;
+    n_replicas : int;
+    owners : int array;  (* shard -> replica index *)
+  }
+
+  let header_bytes = 12
+  let max_shards = 4096
+  let max_replicas = 255
+
+  let encode t =
+    let s = Array.length t.owners in
+    let w = Codec.W.create ~size:(header_bytes + s) () in
+    Codec.W.u32 w t.epoch;
+    Codec.W.u32 w t.version;
+    Codec.W.u16 w t.n_replicas;
+    Codec.W.u16 w s;
+    Array.iter (fun o -> Codec.W.u8 w o) t.owners;
+    Codec.W.contents w
+
+  let decode s =
+    match
+      decode_with header_bytes
+        (fun r ->
+          let epoch = Codec.R.u32 r in
+          let version = Codec.R.u32 r in
+          let n_replicas = Codec.R.u16 r in
+          let n_shards = Codec.R.u16 r in
+          (epoch, version, n_replicas, n_shards))
+        s
+    with
+    | None -> None
+    | Some (epoch, version, n_replicas, n_shards) ->
+        if
+          n_shards > max_shards || n_replicas > max_replicas
+          || String.length s < header_bytes + n_shards
+        then None
+        else
+          let owners =
+            Array.init n_shards (fun i ->
+                Char.code s.[header_bytes + i])
+          in
+          if Array.exists (fun o -> o >= n_replicas) owners then None
+          else Some { epoch; version; n_replicas; owners }
 end
 
 module Fragment = struct

@@ -64,12 +64,35 @@ module Select : sig
   val typ_request : int
   val typ_reply : int
 
+  val typ_request_sharded : int
+  (** request whose header is followed by a {!stamp} extension (not in
+      the paper; absent unless the caller routes through a shard map) *)
+
   val status_ok : int
   val status_no_command : int
   val status_error : int
 
+  val status_wrong_shard : int
+  (** reply from an ex-owner: the named shard is not owned by this
+      server under its installed map; the body carries the server's map
+      version (u32) and the procedure was {e not} executed *)
+
   val encode : t -> string
   val decode : string -> t option
+
+  type stamp = { shard : int; epoch : int; version : int }
+  (** Which virtual shard the client routed by, and under which map
+      generation, carried between header and body on
+      [typ_request_sharded] requests. *)
+
+  val stamp_bytes : int
+  (** 10 *)
+
+  val encode_stamp : stamp -> string
+  val decode_stamp : string -> stamp option
+
+  val encode_wrong_shard : version:int -> string
+  val decode_wrong_shard : string -> int option
 end
 
 module Channel : sig
@@ -114,6 +137,32 @@ module Channel : sig
   val decode_full : string -> t option
   (** whole-header convenience for tests: base header plus, when flagged,
       the extension *)
+end
+
+(** MAP — the shard-map control-plane message pushed by a coordinator
+    (via [Control.Install_map]) to every shard-aware client and server.
+    Carries the full assignment: one owner byte per virtual shard, plus
+    the (epoch, version) generation stamp receivers use for monotonic
+    acceptance. *)
+module Map : sig
+  type t = {
+    epoch : int;
+    version : int;
+    n_replicas : int;
+    owners : int array;  (** shard index -> owning replica index *)
+  }
+
+  val header_bytes : int
+  (** 12; the full message is [header_bytes + n_shards] *)
+
+  val max_shards : int
+  val max_replicas : int
+
+  val encode : t -> string
+
+  val decode : string -> t option
+  (** [None] on truncation, out-of-range sizes, or any owner index
+      [>= n_replicas]. *)
 end
 
 module Fragment : sig

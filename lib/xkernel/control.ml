@@ -32,6 +32,8 @@ type req =
   | Flush_cache
   | Get_rx_deadline
   | Reject_busy
+  | Install_map of string
+  | Get_map_version
 
 type reply =
   | R_unit
@@ -43,7 +45,7 @@ type reply =
   | R_string of string
   | Unsupported
 
-let op_count = 32
+let op_count = 34
 
 let shape_failure what reply_name =
   failwith (Printf.sprintf "Control: expected %s, got %s" what reply_name)
@@ -110,6 +112,8 @@ let pp_req fmt req =
     | Flush_cache -> "Flush_cache"
     | Get_rx_deadline -> "Get_rx_deadline"
     | Reject_busy -> "Reject_busy"
+    | Install_map s -> Printf.sprintf "Install_map(%d bytes)" (String.length s)
+    | Get_map_version -> "Get_map_version"
   in
   Format.pp_print_string fmt s
 

@@ -54,6 +54,14 @@ type req =
       (** issued against a server-side session by an admission layer:
           answer the current request with an explicit busy-pushback
           error instead of delivering it *)
+  | Install_map of string
+      (** the MAP control-plane push: an encoded shard-map wire message
+          (see [Rpc.Wire_fmt.Map]).  Shard-aware protocols decode it and
+          install the map iff its (epoch, version) is newer than the one
+          they hold; everything else answers [Unsupported] *)
+  | Get_map_version
+      (** version of the currently installed shard map ([R_int]);
+          [Unsupported] when the object holds no map *)
 
 type reply =
   | R_unit

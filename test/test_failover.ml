@@ -15,7 +15,7 @@ type behaviour =
   | Block of float  (* serve only after this much delay *)
 
 let scripted w ?policy ?attempt_timeout ?deadline ?max_failovers ?probation
-    ?probe_limit ~k behave =
+    ?probe_limit ?probe_timeout ?dead_retry_interval ~k behave =
   let host = (World.node w 0).World.host in
   let sim = w.World.sim in
   let hits = Array.make k 0 in
@@ -24,7 +24,7 @@ let scripted w ?policy ?attempt_timeout ?deadline ?max_failovers ?probation
         {
           Select_replica.ep_addr = Addr.Ip.v 10 9 9 (i + 1);
           ep_call =
-            (fun ?expires:_ ~command msg ->
+            (fun ?expires:_ ?shard:_ ~command msg ->
               hits.(i) <- hits.(i) + 1;
               match behave i ~command with
               | Reply -> Ok msg
@@ -36,7 +36,8 @@ let scripted w ?policy ?attempt_timeout ?deadline ?max_failovers ?probation
   in
   let t =
     Select_replica.create ~host ?policy ?attempt_timeout ?deadline
-      ?max_failovers ?probation ?probe_limit ~endpoints ()
+      ?max_failovers ?probation ?probe_limit ?probe_timeout
+      ?dead_retry_interval ~endpoints ()
   in
   (t, hits)
 
@@ -107,6 +108,47 @@ let dead_after_probe_limit () =
   ignore (Tutil.ok_exn "later call" (call w t ()));
   (* Dead replicas are last resort: both round-robin turns land on 1. *)
   Tutil.check_int "dead replica avoided" (h1 + 2) hits.(1)
+
+(* The dead-retry pin: without [dead_retry_interval], a buried replica
+   stays Dead forever once probing stops; with it, the next call past
+   the interval fires a lazy re-probe and a rebooted replica heals back
+   into the rotation. *)
+let dead_retry_heals_rebooted_replica () =
+  let w = World.create () in
+  let sim = w.World.sim in
+  let down = ref true in
+  let t, hits =
+    scripted w ~attempt_timeout:0.05 ~probation:0.02 ~probe_limit:2
+      ~dead_retry_interval:0.2 ~k:2 (fun i ~command:_ ->
+        if i = 0 && !down then Fail Rpc.Rpc_error.Timeout else Reply)
+  in
+  Tutil.run_in w (fun () ->
+      ignore
+        (Tutil.ok_exn "first call fails over"
+           (Select_replica.call t ~command:Stacks.cmd_null Msg.empty));
+      (* Let probation and both probes play out: replica 0 is Dead. *)
+      Sim.delay sim 0.5;
+      Alcotest.(check bool) "dead after the probe budget" true
+        (Select_replica.health t 0 = Select_replica.Dead);
+      (* The replica reboots.  Nothing notices until traffic flows. *)
+      down := false;
+      Sim.delay sim 0.5;
+      ignore
+        (Tutil.ok_exn "call while dead"
+           (Select_replica.call t ~command:Stacks.cmd_null Msg.empty));
+      (* That call fired the lazy re-probe in its own fiber; give it a
+         beat to land, then the rotation includes replica 0 again. *)
+      Sim.delay sim 0.1;
+      Alcotest.(check bool) "healed by the lazy re-probe" true
+        (Select_replica.health t 0 = Select_replica.Healthy);
+      let h0 = hits.(0) in
+      for _ = 1 to 4 do
+        ignore
+          (Tutil.ok_exn "post-heal call"
+             (Select_replica.call t ~command:Stacks.cmd_null Msg.empty))
+      done;
+      Alcotest.(check bool) "replica 0 back in rotation" true
+        (hits.(0) > h0))
 
 let deadline_bounds_the_call () =
   let w = World.create () in
@@ -228,6 +270,8 @@ let () =
             failover_marks_suspect;
           Alcotest.test_case "dead after probe limit" `Quick
             dead_after_probe_limit;
+          Alcotest.test_case "dead retry heals a rebooted replica" `Quick
+            dead_retry_heals_rebooted_replica;
           Alcotest.test_case "deadline bounds the call" `Quick
             deadline_bounds_the_call;
         ] );

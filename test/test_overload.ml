@@ -147,7 +147,7 @@ let scripted w ?policy ?attempt_timeout ?deadline ?probation ?probe_limit
         {
           Select_replica.ep_addr = Addr.Ip.v 10 8 8 (i + 1);
           ep_call =
-            (fun ?expires:_ ~command:_ msg ->
+            (fun ?expires:_ ?shard:_ ~command:_ msg ->
               hits.(i) <- hits.(i) + 1;
               match behave i with
               | Reply -> Ok msg
