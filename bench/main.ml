@@ -294,6 +294,8 @@ let () =
       ("failover", E.failover ());
       ("rebalance", E.rebalance ());
       ("overload", E.overload ());
+      ("inc", E.inc ());
+      ("shardscale", E.shardscale ());
       ( "harness",
         harness
           ~calls:opts.o_harness_calls

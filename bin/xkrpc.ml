@@ -26,6 +26,7 @@ type cap_opts = {
   cap_seed : int option;
   cap_shards : int option;
   cap_modes : string list option;
+  cap_ks : int list option;
 }
 
 let experiments cap =
@@ -74,6 +75,25 @@ let experiments cap =
           ?rates:cap.cap_rates ?arrivals:cap.cap_arrivals
           ?window:cap.cap_window ?controls:cap.cap_controls
           ?spike:cap.cap_spike () );
+    ( "inc",
+      fun () ->
+        E.inc ?clients:cap.cap_clients
+          ?rate:
+            (match cap.cap_rates with
+            | Some (r :: _) -> Some r
+            | _ -> None)
+          ?arrivals:cap.cap_arrivals ?window:cap.cap_window ?seed:cap.cap_seed
+          ?modes:cap.cap_modes () );
+    ( "shardscale",
+      fun () ->
+        E.shardscale ?ks:cap.cap_ks ?clients:cap.cap_clients
+          ?shards:cap.cap_shards
+          ?rate:
+            (match cap.cap_rates with
+            | Some (r :: _) -> Some r
+            | _ -> None)
+          ?arrivals:cap.cap_arrivals ?window:cap.cap_window ?seed:cap.cap_seed
+          ?modes:cap.cap_modes () );
   ]
 
 let write_json path doc =
@@ -339,11 +359,19 @@ let cap_opts_term =
       & opt (some string) None
       & info [ "modes" ] ~docv:"M1,M2"
           ~doc:
-            "Rebalance experiment: modes to run (static, crash-rebalance, \
-             skew-rebalance)")
+            "Rebalance/inc/shardscale experiments: modes to run (e.g. \
+             static, crash-rebalance, skew-rebalance; no-inc, cold, hot; \
+             uniform, zipf, zipf-rebalance)")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ks" ] ~docv:"K1,K2"
+          ~doc:"Shardscale experiment: server counts to sweep")
   in
   let assemble stacks rates arrivals clients window conc servers controls spike
-      seed shards modes =
+      seed shards modes ks =
     {
       cap_stacks = Option.map (fun s -> String.split_on_char ',' s) stacks;
       cap_rates =
@@ -358,11 +386,12 @@ let cap_opts_term =
       cap_seed = seed;
       cap_shards = shards;
       cap_modes = Option.map (fun s -> String.split_on_char ',' s) modes;
+      cap_ks = Option.bind ks (split_list int_of_string "server count");
     }
   in
   Term.(
     const assemble $ stacks $ rates $ arrivals $ clients $ window $ conc
-    $ servers $ controls $ spike $ seed $ shards $ modes)
+    $ servers $ controls $ spike $ seed $ shards $ modes $ ks)
 
 let exp_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in

@@ -175,3 +175,69 @@ val overload :
     client-side busy receipts, retry-budget exhaustions, failovers,
     hedge counts, server CPU busy/wait time and the latency
     histogram. *)
+
+val inc_modes : string list
+(** The three cells the INC experiment compares: ["no-inc"] (plain
+    forwarding switch), ["cold"] (INC installed, no request ever
+    repeats) and ["hot"] (INC installed, every client repeats one
+    cacheable request). *)
+
+val inc :
+  ?clients:int ->
+  ?rate:float ->
+  ?arrivals:int ->
+  ?window:int ->
+  ?seed:int ->
+  ?modes:string list ->
+  unit ->
+  Xkernel.Json.t
+(** In-network computation on the switched star: [clients] clients and
+    one server, each on its own wire behind the switch, driven open
+    loop (uniform arrivals at [rate] calls/s aggregate, [arrivals] per
+    mode, pending window [window]) at a rate past the single-server
+    knee.  The hot mode repeats one cacheable SELECT echo, so after
+    the first miss the {!Inc} layer answers every call at the switch;
+    cold never repeats a request; no-inc runs the hot workload through
+    a plain forwarding switch.  Each mode builds a fresh world seeded
+    [seed] and resets the {!Xkernel.Stats} registry.
+
+    Rows use [table = "inc"] and carry goodput, cache
+    hits/misses/sheds/stored/invalidated, the server access wire's
+    frame and byte deltas over the measured window, server and switch
+    CPU time, shed/lost counts and the latency histogram.  The
+    headline: hot goodput strictly above no-inc goodput, with server
+    wire bytes and CPU strictly lower. *)
+
+val shardscale_modes : string list
+(** The shardscale cells: ["uniform"] (keys sweep the shard space,
+    run at every K), ["zipf"] and ["zipf-rebalance"] (zipfian keys at
+    the largest K, without and with the skew rebalancer). *)
+
+val shardscale :
+  ?ks:int list ->
+  ?clients:int ->
+  ?shards:int ->
+  ?rate:float ->
+  ?arrivals:int ->
+  ?window:int ->
+  ?seed:int ->
+  ?modes:string list ->
+  unit ->
+  Xkernel.Json.t
+(** Capacity over K servers now that every server has its own access
+    wire: [clients] clients route [shards] shards over K ∈ [ks]
+    L.RPC replicas through the switch ({!Shard_map} routing, hash
+    policy), open loop at [rate] calls/s aggregate, [arrivals] per
+    cell.  Uniform cells run at every K; zipfian cells (exponent 1.2
+    over the shard space) run at the largest K, with
+    ["zipf-rebalance"] adding the {!Rebalance} skew policy.  Each cell
+    builds a fresh world seeded [seed] and resets the
+    {!Xkernel.Stats} registry.
+
+    Rows use [table = "shardscale"] and carry aggregate goodput,
+    per-cell shed/failed/lost counts ([lost_calls] must be 0),
+    summed and max per-server CPU (the imbalance signal),
+    wrong-shard and foreign-shard counters, [moved_shards] and the
+    latency histogram.  The headline: uniform goodput at K=4 at least
+    twice K=1, and the skew rebalancer recovering part of the zipf
+    cell's lost slope. *)

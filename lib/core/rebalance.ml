@@ -75,19 +75,26 @@ let tick_skew t m ~live ~delta =
                 (fun s -> Shard_map.owner m ~shard:s = hot)
                 (List.init (Shard_map.shard_count m) Fun.id)
             in
-            match
-              argbest ~better:(fun a b -> delta.(a) > delta.(b)) owned
-            with
             (* Improvement guard: moving [shard] shifts its whole load
                onto the cold replica, so the move only helps when that
                load is smaller than the hot/cold gap — otherwise the
                receiver becomes the new hottest and the shard would
-               ping-pong.  One monolithic hot shard therefore stays
-               put: no move can balance it. *)
-            | Some shard
-              when delta.(shard) > 0
-                   && delta.(shard) < per_replica.(hot) - per_replica.(cold)
-              ->
+               ping-pong.  Candidates are filtered through the guard
+               first, so when the hottest shard is itself unmovable (a
+               monolithic hot shard stays put: no move can balance it)
+               the policy drains the hot replica's next-hottest shard
+               instead of giving up. *)
+            let movable =
+              List.filter
+                (fun s ->
+                  delta.(s) > 0
+                  && delta.(s) < per_replica.(hot) - per_replica.(cold))
+                owned
+            in
+            match
+              argbest ~better:(fun a b -> delta.(a) > delta.(b)) movable
+            with
+            | Some shard ->
                 let m' = Shard_map.move m ~shard ~to_:cold in
                 if Shard_map.version m' <> Shard_map.version m then begin
                   t.moves <- t.moves + 1;

@@ -15,8 +15,9 @@
       noisy interval never moves anything and each move must re-earn
       its evidence under the new map.  A move is only taken when the
       shard's load is smaller than the hot/cold gap, so it genuinely
-      narrows the imbalance; one monolithic hot shard never
-      ping-pongs.
+      narrows the imbalance; the hottest shard that passes that guard
+      moves, so a monolithic hot shard never ping-pongs — its owner's
+      other shards drain away around it instead.
 
     The controller only ever runs when an experiment starts it; nothing
     here is wired into any default stack. *)

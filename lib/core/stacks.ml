@@ -396,6 +396,47 @@ let mrpc_fanout ?(lower = L_vip) ?n_channels ?policy ?attempt_timeout ?deadline
     fos_coord = coord;
   }
 
+(* --- switched configurations: per-host access links, one switch ------ *)
+
+(* The layered stack unchanged, over a switched star instead of a shared
+   wire.  Every call crosses the switch (peers are never on-link, so VIP
+   falls back to IP-via-gateway), which is exactly what lets an
+   in-network computation see the traffic: [?inc_cacheable] installs
+   {!Inc} on the switch's forwarding IP instance. *)
+let lrpc_switched ?adaptive ?rto_load_floor ?n_channels ?policy
+    ?attempt_timeout ?deadline ?max_failovers ?probation ?probe_limit ?admit
+    ?propagate_deadline ?retry_budget ?hedge ?probe_timeout
+    ?dead_retry_interval ?drain_deadline ?shard_map ?map_delay ?map_jitter
+    ?inc_cacheable ?inc_ttl ?inc_capacity (sw : World.switched) =
+  let stack =
+    lrpc_fanout ?adaptive ?rto_load_floor ?n_channels ?policy ?attempt_timeout
+      ?deadline ?max_failovers ?probation ?probe_limit ?admit
+      ?propagate_deadline ?retry_budget ?hedge ?probe_timeout
+      ?dead_retry_interval ?drain_deadline ?shard_map ?map_delay ?map_jitter
+      sw.World.sw
+  in
+  let inc =
+    match inc_cacheable with
+    | None -> None
+    | Some cacheable ->
+        Some
+          (Inc.install ~host:sw.World.sw_ports.(0).World.pt_host
+             ~ip:sw.World.sw_ip ~cacheable ?ttl:inc_ttl ?capacity:inc_capacity
+             ())
+  in
+  ({ stack with fos_name = "L.RPC-VIP-SWITCHED" }, inc)
+
+let mrpc_switched ?lower ?n_channels ?policy ?attempt_timeout ?deadline
+    ?max_failovers ?probation ?probe_limit ?probe_timeout ?dead_retry_interval
+    ?drain_deadline ?shard_map ?map_delay ?map_jitter (sw : World.switched) =
+  let stack =
+    mrpc_fanout ?lower ?n_channels ?policy ?attempt_timeout ?deadline
+      ?max_failovers ?probation ?probe_limit ?probe_timeout
+      ?dead_retry_interval ?drain_deadline ?shard_map ?map_delay ?map_jitter
+      sw.World.sw
+  in
+  { stack with fos_name = stack.fos_name ^ "-SWITCHED" }
+
 (* SELECT-CHANNEL-VIPsize, with FRAGMENT moved below VIPsize and
    VIPaddr below both (Figure 3(b)). *)
 let lrpc_vip_size_node (n : World.node) =

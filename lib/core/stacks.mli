@@ -173,6 +173,65 @@ val mrpc_fanout :
     the map steers client-side routing (and the coordinator still
     distributes updates) but servers never answer wrong-shard. *)
 
+(** {1 Switched configurations}
+
+    The same stacks over a {!Netproto.World.switched} star: every host
+    on its own access link, all calls through the switch.  Peers are
+    never on the local wire, so VIP always takes the IP-via-gateway
+    path — the remote case of section 3.2 — and the switch sees (and
+    may compute on) every RPC. *)
+
+val lrpc_switched :
+  ?adaptive:bool ->
+  ?rto_load_floor:bool ->
+  ?n_channels:int ->
+  ?policy:Select_replica.policy ->
+  ?attempt_timeout:float ->
+  ?deadline:float ->
+  ?max_failovers:int ->
+  ?probation:float ->
+  ?probe_limit:int ->
+  ?admit:Admit.config ->
+  ?propagate_deadline:bool ->
+  ?retry_budget:float ->
+  ?hedge:bool ->
+  ?probe_timeout:float ->
+  ?dead_retry_interval:float ->
+  ?drain_deadline:float ->
+  ?shard_map:Shard_map.t ->
+  ?map_delay:float ->
+  ?map_jitter:float ->
+  ?inc_cacheable:int list ->
+  ?inc_ttl:float ->
+  ?inc_capacity:int ->
+  Netproto.World.switched ->
+  fanout_stack * Inc.t option
+(** {!lrpc_fanout} over the switched star.  [inc_cacheable] installs
+    the {!Inc} in-network computation on the switch, caching replies to
+    the listed SELECT commands ([inc_ttl] / [inc_capacity] bound the
+    cache); omitted, the switch is a plain forwarder and the second
+    component is [None]. *)
+
+val mrpc_switched :
+  ?lower:mono_lower ->
+  ?n_channels:int ->
+  ?policy:Select_replica.policy ->
+  ?attempt_timeout:float ->
+  ?deadline:float ->
+  ?max_failovers:int ->
+  ?probation:float ->
+  ?probe_limit:int ->
+  ?probe_timeout:float ->
+  ?dead_retry_interval:float ->
+  ?drain_deadline:float ->
+  ?shard_map:Shard_map.t ->
+  ?map_delay:float ->
+  ?map_jitter:float ->
+  Netproto.World.switched ->
+  fanout_stack
+(** {!mrpc_fanout} over the switched star.  The monolithic wire format
+    is opaque to {!Inc}, so there is no caching variant. *)
+
 val lrpc_vip_size : Netproto.World.t -> endpoints
 (** SELECT-CHANNEL-VIPsize with FRAGMENT below VIPsize and VIPaddr at
     the bottom (Figure 3(b)) — the section 4.3 configuration that

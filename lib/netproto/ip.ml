@@ -42,11 +42,14 @@ type t = {
   mutable next_ident : int;
   mutable error_hook :
     (src:Addr.Ip.t -> delivery_error -> Msg.t -> unit) option;
+  mutable forward_hook :
+    (src:Addr.Ip.t -> dst:Addr.Ip.t -> proto_num:int -> Msg.t -> bool) option;
   stats : Stats.t;
 }
 
 let proto t = t.p
 let set_error_hook t f = t.error_hook <- Some f
+let set_forward_hook t f = t.forward_hook <- f
 
 
 let encode_header h =
@@ -191,6 +194,11 @@ let send_datagram t ~src ~dst ~proto_num ~ttl msg =
           in
           if len > max_packet then Stats.incr t.stats "too-big" else emit 0)
 
+(* Emit a datagram from the forwarding path with an explicit source
+   address — an in-network layer answering on another host's behalf. *)
+let inject t ~src ~dst ~proto_num msg =
+  send_datagram t ~src ~dst ~proto_num ~ttl:t.ttl_default msg
+
 let session_key ~peer ~proto_num = (Addr.Ip.to_int peer, proto_num)
 
 let make_session t ~upper ~peer ~proto_num =
@@ -328,6 +336,19 @@ let input t msg =
                 report_error t h payload Ttl_exceeded
               end
               else if t.forward then begin
+                (* A forwarding hook (an in-network computation layer)
+                   sees whole datagrams only — a fragment in transit
+                   cannot be parsed — and may consume one instead of
+                   forwarding it. *)
+                if
+                  (not h.mf) && h.frag_off = 0
+                  && (match t.forward_hook with
+                     | Some hook ->
+                         hook ~src:h.src ~dst:h.dst ~proto_num:h.proto_num
+                           payload
+                     | None -> false)
+                then Stats.incr t.stats "hook-consumed"
+                else begin
                 Stats.incr t.stats "forwarded";
                 (* Forward the fragment as-is (same ident/offset/MF) so
                    the final destination can still reassemble. *)
@@ -345,6 +366,7 @@ let input t msg =
                             Machine.Checksum header_bytes;
                           ];
                         Proto.push eth_sess (Msg.push payload hdr))
+                end
               end
               else Stats.incr t.stats "rx-not-mine"
             end
@@ -401,6 +423,7 @@ let create ~host ~ifaces ?gateway ?(forward = false) ?(ttl = 32) () =
       reassembly = Hashtbl.create 16;
       next_ident = 1;
       error_hook = None;
+      forward_hook = None;
       stats = Proto.stats p;
     }
   in

@@ -59,6 +59,41 @@ val set_error_hook :
     notify, the reason, and the offending header plus up to eight
     payload bytes.  Errors about ICMP traffic itself are suppressed. *)
 
+(** {2 In-network computation hooks}
+
+    A forwarding instance (a router or switch) can interpose a
+    computation on traffic in transit — the NetRPC idea of moving RPC
+    work into the network, expressed with the x-kernel's
+    virtual-protocol technique. *)
+
+val set_forward_hook :
+  t ->
+  (src:Xkernel.Addr.Ip.t ->
+  dst:Xkernel.Addr.Ip.t ->
+  proto_num:int ->
+  Xkernel.Msg.t ->
+  bool)
+  option ->
+  unit
+(** Consulted on each {e whole} datagram this instance is about to
+    forward (fragments in transit pass through unexamined).  Returning
+    [true] consumes the datagram — it is not forwarded, not counted
+    ["forwarded"], and charges nothing downstream; the hook owns
+    whatever happens next (e.g. answering from a cache with {!inject}).
+    [None] uninstalls. *)
+
+val inject :
+  t ->
+  src:Xkernel.Addr.Ip.t ->
+  dst:Xkernel.Addr.Ip.t ->
+  proto_num:int ->
+  Xkernel.Msg.t ->
+  unit
+(** Emit one datagram from this instance with an {e explicit} source
+    address — how an in-network layer answers on a server's behalf.
+    Routes, resolves and fragments exactly like a locally originated
+    datagram.  Must run in a fiber. *)
+
 (** Participants: active [open_] needs [Ip dst] in the peer and
     [Ip_proto n] in either participant; [open_enable] needs
     [Ip_proto n].  Sessions answer [Get_peer_host], [Get_my_host],

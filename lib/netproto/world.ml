@@ -138,3 +138,105 @@ let create_internet ?(profile = Machine.xkernel_sun3) ?(seed = 42) () =
       ( mk_router_node rw_host dev_w eth_w arp_w,
         mk_router_node re_host dev_e eth_e arp_e );
   }
+
+type port = {
+  pt_host : Host.t;
+  pt_dev : Netdev.t;
+  pt_eth : Eth.t;
+  pt_arp : Arp.t;
+  pt_wire : Wire.t;
+  pt_label : string;
+}
+
+type switched = { sw : fanout; sw_ip : Ip.t; sw_ports : port array }
+
+(* The switch generalizes [create_internet]'s two-interface router to N
+   ports: one host record per port (carrying that port's gateway
+   address, which is what its ARP answers for and what its device
+   filters on), and a single forwarding IP instance spanning all of
+   them.  Per-port receive and transmit costs charge per-port engines;
+   IP-level work — routing, and any in-network computation installed via
+   [Ip.set_forward_hook] — charges port 0's engine, the fabric CPU. *)
+let create_switched ?max_events ?(clients = 4) ?(servers = 1)
+    ?(profile = Machine.xkernel_sun3)
+    ?(switch_profile = Machine.switch_fabric) ?(seed = 42) () =
+  if clients < 1 then invalid_arg "World.create_switched: clients < 1";
+  if servers < 1 then invalid_arg "World.create_switched: servers < 1";
+  let n = servers + clients in
+  (* Each port is its own 10.0.<i>.x network; the prefix byte bounds N. *)
+  if n > 200 then invalid_arg "World.create_switched: too many hosts";
+  let sim = Sim.create ?max_events ~seed () in
+  let label i =
+    if i < servers then Printf.sprintf "s%d" i
+    else Printf.sprintf "c%d" (i - servers)
+  in
+  let wires =
+    Array.init n (fun i -> Wire.create sim ~seed:(seed + i) ~label:(label i) ())
+  in
+  let gw i = Addr.Ip.v 10 0 i 254 in
+  let nodes =
+    Array.init n (fun i ->
+        (create_net sim wires.(i) ~net_prefix:i ~count:1 ~profile
+           ~gateway:(Some (gw i)) ~eth_off:0)
+          .nodes.(0))
+  in
+  let ports =
+    Array.init n (fun i ->
+        let pt_host =
+          Host.create sim
+            ~name:(Printf.sprintf "switch.p%d" i)
+            ~ip:(gw i)
+            ~eth:(Addr.Eth.v (eth_base + 0xff0000 + i))
+            ~profile:switch_profile ()
+        in
+        let pt_dev = Netdev.create ~host:pt_host ~wire:wires.(i) in
+        let pt_eth = Eth.create ~host:pt_host ~dev:pt_dev in
+        let pt_arp = Arp.create ~host:pt_host ~eth:pt_eth in
+        {
+          pt_host;
+          pt_dev;
+          pt_eth;
+          pt_arp;
+          pt_wire = wires.(i);
+          pt_label = label i;
+        })
+  in
+  let sw_ip =
+    Ip.create ~host:ports.(0).pt_host
+      ~ifaces:
+        (Array.to_list
+           (Array.map
+              (fun p ->
+                {
+                  Ip.if_ip = p.pt_host.Host.ip;
+                  if_eth = p.pt_eth;
+                  if_arp = p.pt_arp;
+                })
+              ports))
+      ~forward:true ()
+  in
+  (* [t.wire] must name one wire; server 0's access link is the one a
+     single-wire experiment most often watches. *)
+  let t = { sim; wire = wires.(0); nodes } in
+  {
+    sw =
+      {
+        fo = t;
+        servers = Array.sub nodes 0 servers;
+        fo_clients = Array.sub nodes servers clients;
+      };
+    sw_ip;
+    sw_ports = ports;
+  }
+
+let switched_wires sw =
+  Array.to_list (Array.map (fun p -> (p.pt_label, p.pt_wire)) sw.sw_ports)
+
+let switch_machines sw = Array.map (fun p -> p.pt_host.Host.mach) sw.sw_ports
+
+let port_wire sw ~label =
+  match
+    Array.find_opt (fun p -> String.equal p.pt_label label) sw.sw_ports
+  with
+  | Some p -> p.pt_wire
+  | None -> invalid_arg (Printf.sprintf "World.port_wire: no port %S" label)

@@ -89,3 +89,65 @@ val create_internet : ?profile:Xkernel.Machine.profile -> ?seed:int -> unit -> i
 (** Two 2-host ethernets joined by an IP router; hosts have their
     gateway configured, so cross-network traffic exercises IP
     forwarding while VIP detects non-locality via ARP failure. *)
+
+(** {2 Switched star}
+
+    Every host on its own labelled wire, joined by an N-port switch —
+    the shared-medium bottleneck of the single-wire worlds replaced by
+    per-host access links, so aggregate capacity scales with the number
+    of servers until the switch itself saturates. *)
+
+type port = {
+  pt_host : Xkernel.Host.t;  (** carries the port's gateway address *)
+  pt_dev : Xkernel.Netdev.t;
+  pt_eth : Eth.t;
+  pt_arp : Arp.t;
+  pt_wire : Xkernel.Wire.t;
+  pt_label : string;  (** ["s<k>"] for servers, ["c<j>"] for clients *)
+}
+
+type switched = {
+  sw : fanout;
+      (** the end hosts with roles named; [sw.fo.wire] is server 0's
+          access link *)
+  sw_ip : Ip.t;
+      (** the switch's forwarding IP instance — the place to hang an
+          in-network computation via {!Ip.set_forward_hook} *)
+  sw_ports : port array;  (** port [i] faces node [i] *)
+}
+
+val create_switched :
+  ?max_events:int ->
+  ?clients:int ->
+  ?servers:int ->
+  ?profile:Xkernel.Machine.profile ->
+  ?switch_profile:Xkernel.Machine.profile ->
+  ?seed:int ->
+  unit ->
+  switched
+(** [create_switched ~clients ~servers ()] (defaults 4 and 1) puts each
+    of the [servers + clients] hosts on its own wire (network
+    [10.0.<i>.x], gateway [10.0.<i>.254]) behind one switch.  Servers
+    occupy node/port indices [0..servers-1], as in {!create_fanout}.
+    End hosts run [profile] (default Sun 3/75); the switch's ports run
+    [switch_profile] (default {!Xkernel.Machine.switch_fabric}, which
+    forwards minimum frames several times faster than a wire can carry
+    them).  Wires are labelled, so each registers its own
+    [wire/<label>] stats table.
+
+    Note that cross-wire {!Xkernel.Chaos.apply} [Partition] specs are
+    meaningless here — attachments are per-wire; target a named wire
+    with [Wire_down]/[Wire_loss] (via {!switched_wires}) or a host with
+    [Crash] instead. *)
+
+val switched_wires : switched -> (string * Xkernel.Wire.t) list
+(** Label-to-wire pairs in port order — exactly the [?wires] argument
+    {!Xkernel.Chaos.apply} wants. *)
+
+val switch_machines : switched -> Xkernel.Machine.t array
+(** The per-port fabric engines, for CPU accounting (port 0 also
+    carries the switch's IP-level and in-network work). *)
+
+val port_wire : switched -> label:string -> Xkernel.Wire.t
+(** The named access link.
+    @raise Invalid_argument on an unknown label. *)

@@ -4,14 +4,20 @@ type spec =
   | Link_flap of { dev : int; period : float }
   | Delay_spike of float
   | Crash of int
+  | Wire_down of string
+  | Wire_loss of { wire : string; p : float }
 
 type window = { from_t : float; until_t : float; spec : spec }
 type plan = window list
 
-let validate ~n plan =
+let validate ~n ~wires plan =
   let dev i =
     if i < 0 || i >= n then
       invalid_arg (Printf.sprintf "Chaos: device index %d out of range" i)
+  in
+  let named name =
+    if not (List.mem_assoc name wires) then
+      invalid_arg (Printf.sprintf "Chaos: unknown wire %S" name)
   in
   List.iter
     (fun w ->
@@ -28,11 +34,16 @@ let validate ~n plan =
           dev d;
           if period <= 0. then invalid_arg "Chaos: nonpositive flap period"
       | Delay_spike d -> if d < 0. then invalid_arg "Chaos: negative delay"
-      | Crash d -> dev d)
+      | Crash d -> dev d
+      | Wire_down name -> named name
+      | Wire_loss { wire = name; p } ->
+          named name;
+          if p < 0. || p > 1. then
+            invalid_arg "Chaos: loss probability outside [0, 1]")
     plan
 
-let apply ?(seed = 7) ~wire ~devices plan =
-  validate ~n:(Array.length devices) plan;
+let apply ?(seed = 7) ?(wires = []) ~wire ~devices plan =
+  validate ~n:(Array.length devices) ~wires plan;
   let sim = Wire.sim wire in
   let at t f =
     let d = t -. Sim.now sim in
@@ -70,7 +81,12 @@ let apply ?(seed = 7) ~wire ~devices plan =
             t := !t +. period
           done
       | Crash d -> at w.from_t (fun () -> Host.reboot (Netdev.host devices.(d)))
-      | Burst_loss _ | Delay_spike _ -> ())
+      | Wire_down name ->
+          (* Unplug the named access link for the window. *)
+          let target = List.assoc name wires in
+          at w.from_t (fun () -> Wire.set_down target true);
+          at w.until_t (fun () -> Wire.set_down target false)
+      | Burst_loss _ | Delay_spike _ | Wire_loss _ -> ())
     plan;
   (* Loss bursts and delay spikes need a per-frame decision, so they
      compile to a fault hook; everything above is pure scheduling. *)
@@ -114,7 +130,52 @@ let apply ?(seed = 7) ~wire ~devices plan =
                  faults := Wire.Drop :: !faults
            | None -> ());
            !faults))
-  end
+  end;
+  (* Named-wire loss is the same per-frame decision on a *different*
+     wire, so each named wire with loss windows gets its own hook (and
+     its own deterministic rng stream). *)
+  let loss_names =
+    List.fold_left
+      (fun acc w ->
+        match w.spec with
+        | Wire_loss { wire = name; _ } when not (List.mem name acc) ->
+            name :: acc
+        | _ -> acc)
+      [] plan
+    |> List.rev
+  in
+  List.iteri
+    (fun i name ->
+      let target = List.assoc name wires in
+      let windows =
+        List.filter_map
+          (fun w ->
+            match w.spec with
+            | Wire_loss { wire = n; p } when n = name ->
+                Some (w.from_t, w.until_t, p)
+            | _ -> None)
+          plan
+      in
+      let rng = Random.State.make [| seed + 101 + i |] in
+      Wire.set_fault_hook target
+        (Some
+           (fun _n msg ->
+             let t = Sim.now sim in
+             let p =
+               List.find_map
+                 (fun (from_t, until_t, p) ->
+                   if from_t <= t && t < until_t then Some p else None)
+                 windows
+             in
+             let faults = ref (Wire.draw_faults target msg) in
+             (match p with
+             | Some p ->
+                 faults := List.filter (fun f -> f <> Wire.Drop) !faults;
+                 if Random.State.float rng 1. < p then
+                   faults := Wire.Drop :: !faults
+             | None -> ());
+             !faults)))
+    loss_names
 
 let spec_json = function
   | Partition { a; b } ->
@@ -133,6 +194,13 @@ let spec_json = function
   | Delay_spike d ->
       [ ("spec", Json.Str "delay_spike"); ("delay", Json.Float d) ]
   | Crash d -> [ ("spec", Json.Str "crash"); ("dev", Json.Int d) ]
+  | Wire_down name -> [ ("spec", Json.Str "wire_down"); ("wire", Json.Str name) ]
+  | Wire_loss { wire; p } ->
+      [
+        ("spec", Json.Str "wire_loss");
+        ("wire", Json.Str wire);
+        ("p", Json.Float p);
+      ]
 
 let to_json plan =
   Json.Arr

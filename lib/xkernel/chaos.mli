@@ -27,6 +27,14 @@ type spec =
       (** Reboot [dev]'s host at the window's start ([until_t] is
           ignored); sessions, reply caches and timers on that host die
           with it. *)
+  | Wire_down of string
+      (** Unplug the named wire for the window ({!Wire.set_down}): every
+          delivery on it is suppressed and counted [partitioned].  Names
+          resolve through [apply]'s [?wires] argument — the per-port
+          access links of a switched topology. *)
+  | Wire_loss of { wire : string; p : float }
+      (** Drop each frame on the named wire with probability [p] during
+          the window, superseding that wire's background drop rate. *)
 
 type window = { from_t : float; until_t : float; spec : spec }
 (** Absolute virtual times; the window is active on [\[from_t,
@@ -34,7 +42,13 @@ type window = { from_t : float; until_t : float; spec : spec }
 
 type plan = window list
 
-val apply : ?seed:int -> wire:Wire.t -> devices:Netdev.t array -> plan -> unit
+val apply :
+  ?seed:int ->
+  ?wires:(string * Wire.t) list ->
+  wire:Wire.t ->
+  devices:Netdev.t array ->
+  plan ->
+  unit
 (** Compile [plan] onto [wire]: partitions and flaps schedule
     {!Wire.block_pair}/{!Wire.unblock_pair} events, crashes schedule
     {!Host.reboot}, and — only when the plan contains [Burst_loss] or
@@ -42,12 +56,18 @@ val apply : ?seed:int -> wire:Wire.t -> devices:Netdev.t array -> plan -> unit
     those inside their windows and falls through to the wire's
     probabilistic knobs ({!Wire.draw_faults}) outside them.
 
+    [?wires] names additional wires for [Wire_down]/[Wire_loss] specs
+    (a switched topology's per-port access links; see
+    [World.switched_wires]).  [Wire_down] schedules {!Wire.set_down};
+    [Wire_loss] installs a per-frame fault hook on the named wire, with
+    an rng stream derived from [seed] per wire.
+
     Must be called before [Sim.run], with the simulator at a time no
     later than any window's [from_t].
 
-    @raise Invalid_argument on an out-of-range device index,
-    [until_t < from_t], a nonpositive flap period, or a loss
-    probability outside [0, 1]. *)
+    @raise Invalid_argument on an out-of-range device index, a wire
+    name absent from [?wires], [until_t < from_t], a nonpositive flap
+    period, or a loss probability outside [0, 1]. *)
 
 val to_json : plan -> Json.t
 (** The plan as a JSON array, one object per window:

@@ -82,6 +82,37 @@ let sunos_socket =
     os_per_message = us 450.;
   }
 
+(* A store-and-forward switching fabric: per-port forwarding engines
+   with cut-through-ish fixed costs, so the wire's serialization time —
+   not the forwarding CPU — is the bottleneck.  A minimum frame costs
+   ~25 us of fabric CPU per hop versus ~99 us of 10 Mb/s wire time, so
+   an N-port switch built from this profile forwards at line rate while
+   still charging *some* CPU (an in-network computation layer spends
+   fabric cycles to save server cycles, and the accounting must show
+   both sides). *)
+let switch_fabric =
+  {
+    profile_name = "switch-fabric";
+    layer_crossing = us 1.;
+    virtual_op = us 1.;
+    header_base = us 0.5;
+    header_per_byte = us 0.02;
+    checksum_per_byte = us 0.05;
+    route_lookup = us 2.;
+    reasm_lookup = us 1.;
+    frag_bookkeep = us 1.;
+    process_switch = us 5.;
+    semaphore_op = us 1.;
+    timer_op = us 1.;
+    interrupt = us 8.;
+    device_fixed = us 5.;
+    device_per_byte = us 0.036;
+    syscall = us 5.;
+    os_per_message = 0.;
+    alloc = us 2.;
+    buffer_scheme = Prealloc;
+  }
+
 let with_buffer_scheme buffer_scheme p = { p with buffer_scheme }
 
 (* All-zero profile: virtual time never advances, so wall-clock

@@ -54,6 +54,13 @@ val sprite_kernel : profile
 val sunos_socket : profile
 (** SunOS 4.0 socket-layer profile used for the intro's UDP comparison. *)
 
+val switch_fabric : profile
+(** A switching fabric's per-port forwarding engine: fixed costs small
+    enough that a 10 Mb/s wire's serialization time, not the forwarding
+    CPU, bounds throughput (~25 us per minimum frame versus ~99 us of
+    wire time).  The default profile for the switch ports of
+    [World.create_switched]; end hosts keep {!xkernel_sun3}. *)
+
 val with_buffer_scheme : buffer_scheme -> profile -> profile
 
 val zero_cost : profile

@@ -25,12 +25,29 @@ let zero_stats =
 
 type attachment = { tap_id : int; recv : Msg.t -> unit }
 
+(* Mirror handles into a registered per-wire table, resolved once at
+   create time.  Only labelled wires pay for (or appear in) the
+   registry: a multi-wire world would otherwise collide every wire's
+   gauges on one key. *)
+type lbl = {
+  l_frames : Stats.counter;
+  l_delivered : Stats.counter;
+  l_dropped : Stats.counter;
+  l_duplicated : Stats.counter;
+  l_corrupted : Stats.counter;
+  l_delayed : Stats.counter;
+  l_partitioned : Stats.counter;
+  l_bytes : Stats.counter;
+}
+
 type t = {
   w_sim : Sim.t;
   bandwidth : float;
   propagation : float;
   medium : Sim.Semaphore.sem;
   rng : Random.State.t;
+  w_label : string option;
+  lbl : lbl option;
   mutable taps : attachment list;
   mutable next_tap : int;
   mutable drop_rate : float;
@@ -39,19 +56,39 @@ type t = {
   mutable reorder_rate : float;
   mutable reorder_jitter : float;
   mutable fault_hook : (int -> Msg.t -> fault list) option;
+  mutable down : bool;
   blocked : (int * int, unit) Hashtbl.t; (* (src tap, dst tap) pairs *)
   mutable frame_count : int;
   mutable st : stats;
 }
 
-let create w_sim ?(bandwidth_bps = 10e6) ?(propagation = 5e-6) ?(seed = 42) ()
-    =
+let create w_sim ?(bandwidth_bps = 10e6) ?(propagation = 5e-6) ?(seed = 42)
+    ?label () =
+  let lbl =
+    match label with
+    | None -> None
+    | Some l ->
+        let tbl = Stats.create ~name:("wire/" ^ l) () in
+        Some
+          {
+            l_frames = Stats.counter tbl "frames";
+            l_delivered = Stats.counter tbl "delivered";
+            l_dropped = Stats.counter tbl "dropped";
+            l_duplicated = Stats.counter tbl "duplicated";
+            l_corrupted = Stats.counter tbl "corrupted";
+            l_delayed = Stats.counter tbl "delayed";
+            l_partitioned = Stats.counter tbl "partitioned";
+            l_bytes = Stats.counter tbl "bytes";
+          }
+  in
   {
     w_sim;
     bandwidth = bandwidth_bps;
     propagation;
     medium = Sim.Semaphore.create w_sim 1;
     rng = Random.State.make [| seed |];
+    w_label = label;
+    lbl;
     taps = [];
     next_tap = 0;
     drop_rate = 0.;
@@ -60,6 +97,7 @@ let create w_sim ?(bandwidth_bps = 10e6) ?(propagation = 5e-6) ?(seed = 42) ()
     reorder_rate = 0.;
     reorder_jitter = 0.;
     fault_hook = None;
+    down = false;
     blocked = Hashtbl.create 8;
     frame_count = 0;
     st = zero_stats;
@@ -67,6 +105,10 @@ let create w_sim ?(bandwidth_bps = 10e6) ?(propagation = 5e-6) ?(seed = 42) ()
 
 let sim w = w.w_sim
 let bandwidth_bps w = w.bandwidth
+let label w = w.w_label
+
+let mirror w f =
+  match w.lbl with None -> () | Some l -> Stats.tick (f l)
 
 let attach w ~recv =
   let tap = { tap_id = w.next_tap; recv } in
@@ -103,6 +145,12 @@ let unblock_all w = Hashtbl.reset w.blocked
 let pair_blocked w ~from ~to_ =
   Hashtbl.mem w.blocked (from.tap_id, to_.tap_id)
 
+(* Whole-wire cut: an unplugged access link.  Suppressed deliveries
+   count as [partitioned] like any other topology fault; the
+   transmitter still serializes (it cannot see the far end is gone). *)
+let set_down w d = w.down <- d
+let is_down w = w.down
+
 let stats w = w.st
 let reset_stats w = w.st <- zero_stats
 
@@ -124,6 +172,10 @@ let transmit w ~from msg =
   w.frame_count <- n + 1;
   let wire_bytes = on_wire_bytes (Msg.length msg) in
   w.st <- { w.st with frames = w.st.frames + 1; bytes = w.st.bytes + wire_bytes };
+  mirror w (fun l -> l.l_frames);
+  (match w.lbl with
+  | None -> ()
+  | Some l -> Stats.bump l.l_bytes wire_bytes);
   Sim.Semaphore.p w.medium;
   Sim.delay w.w_sim (float_of_int (wire_bytes * 8) /. w.bandwidth);
   Sim.Semaphore.v w.medium;
@@ -132,7 +184,10 @@ let transmit w ~from msg =
     | Some hook -> hook n msg
     | None -> draw_faults w msg
   in
-  if List.mem Drop faults then w.st <- { w.st with dropped = w.st.dropped + 1 }
+  if List.mem Drop faults then begin
+    w.st <- { w.st with dropped = w.st.dropped + 1 };
+    mirror w (fun l -> l.l_dropped)
+  end
   else begin
     let copies = ref 1 in
     let extra_delay = ref 0. in
@@ -141,22 +196,27 @@ let transmit w ~from msg =
       | Drop -> ()
       | Duplicate ->
           incr copies;
-          w.st <- { w.st with duplicated = w.st.duplicated + 1 }
+          w.st <- { w.st with duplicated = w.st.duplicated + 1 };
+          mirror w (fun l -> l.l_duplicated)
       | Delay d ->
           extra_delay := !extra_delay +. d;
-          w.st <- { w.st with delayed = w.st.delayed + 1 }
+          w.st <- { w.st with delayed = w.st.delayed + 1 };
+          mirror w (fun l -> l.l_delayed)
       | Corrupt off when Msg.length msg > 0 ->
           let off = off mod Msg.length msg in
           delivered_msg :=
             Msg.map_byte off (fun c -> Char.chr (Char.code c lxor 0xff)) !delivered_msg;
-          w.st <- { w.st with corrupted = w.st.corrupted + 1 }
+          w.st <- { w.st with corrupted = w.st.corrupted + 1 };
+          mirror w (fun l -> l.l_corrupted)
       | Corrupt _ -> ()
     in
     List.iter apply faults;
     let deliver_to tap =
       if tap.tap_id <> from.tap_id then
-        if Hashtbl.mem w.blocked (from.tap_id, tap.tap_id) then
-          w.st <- { w.st with partitioned = w.st.partitioned + 1 }
+        if w.down || Hashtbl.mem w.blocked (from.tap_id, tap.tap_id) then begin
+          w.st <- { w.st with partitioned = w.st.partitioned + 1 };
+          mirror w (fun l -> l.l_partitioned)
+        end
         else
         (* Corruption damages the original transmission; a Duplicate is
            an independent clean copy.  [delivered] counts every copy
@@ -164,6 +224,7 @@ let transmit w ~from msg =
         for copy = 1 to !copies do
           let m = if copy = 1 then !delivered_msg else msg in
           w.st <- { w.st with delivered = w.st.delivered + 1 };
+          mirror w (fun l -> l.l_delivered);
           ignore
             (Sim.after w.w_sim (w.propagation +. !extra_delay) (fun () ->
                  tap.recv m))

@@ -19,11 +19,22 @@ val create :
   ?bandwidth_bps:float ->
   ?propagation:float ->
   ?seed:int ->
+  ?label:string ->
   unit ->
   t
-(** Defaults: 10 Mb/s, 5 microseconds propagation, seed 42. *)
+(** Defaults: 10 Mb/s, 5 microseconds propagation, seed 42.
+
+    With [~label], the wire also registers a [Stats] table named
+    ["wire/<label>"] mirroring the {!stats} counters ([frames],
+    [bytes], [delivered], [dropped], [duplicated], [corrupted],
+    [delayed], [partitioned]) — distinct registry keys for multi-wire
+    worlds, where every wire would otherwise be invisible in a
+    registry dump.  Unlabelled wires register nothing, keeping
+    single-wire worlds' registry output unchanged. *)
 
 val sim : t -> Sim.t
+
+val label : t -> string option
 
 val bandwidth_bps : t -> float
 (** Configured serialization rate.  Together with {!stats}'s [bytes]
@@ -84,6 +95,15 @@ val block_pair : t -> from:attachment -> to_:attachment -> unit
 val unblock_pair : t -> from:attachment -> to_:attachment -> unit
 val unblock_all : t -> unit
 val pair_blocked : t -> from:attachment -> to_:attachment -> bool
+
+val set_down : t -> bool -> unit
+(** Cut (or restore) the whole wire: an unplugged access link.  While
+    down, every delivery is suppressed and counted [partitioned];
+    transmitters still serialize and count [frames] — a sender cannot
+    see that the far end is gone.  The mechanism under {!Chaos}'s
+    named-wire cuts on multi-wire topologies. *)
+
+val is_down : t -> bool
 
 type stats = {
   frames : int;  (** transmissions attempted *)
